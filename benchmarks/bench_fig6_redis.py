@@ -1,0 +1,44 @@
+"""Fig. 6 — the Redis load-balancing case study (section 5.1).
+
+Paper: after a configuration change aimed at balancing traffic, FUNNEL
+determined that 16 of 118 KPIs in the impact set changed — NIC
+throughput shifted *down* on the saturated class A Redis servers
+(Fig. 6a) and *up* on the underused class B servers (Fig. 6b), despite
+NIC throughput's strong natural variability.
+"""
+
+from repro.eval.report import render_ascii_series
+from repro.simulation.cases import redis_case
+
+
+def test_fig6_redis_load_balancing(benchmark):
+    result = benchmark.pedantic(redis_case, rounds=1, iterations=1)
+    print()
+    print(render_ascii_series(
+        result.class_a_example,
+        title="Fig. 6a: class A Redis NIC throughput (config change at "
+              "t=%d)" % result.change_index))
+    print(render_ascii_series(
+        result.class_b_example,
+        title="Fig. 6b: class B Redis NIC throughput"))
+    a_down = sum(1 for k in result.flagged
+                 if "redis-a" in k and result.directions[k] < 0)
+    b_up = sum(1 for k in result.flagged
+               if "redis-b" in k and result.directions[k] > 0)
+    false_flags = [k for k in result.flagged if "other" in k]
+    print("flagged %d / %d KPIs (paper: 16 / 118): %d class-A down, "
+          "%d class-B up, %d spurious"
+          % (result.flagged_count, result.total_kpis, a_down, b_up,
+             len(false_flags)))
+
+    # Paper shape: ~16 of 118 KPIs flagged, split between the NIC
+    # throughput of the two server classes, in opposite directions, and
+    # no unaffected KPI dragged in.
+    assert 12 <= result.flagged_count <= 18
+    assert a_down >= 6 and b_up >= 6
+    assert len(false_flags) <= 1
+    for name in result.flagged:
+        if "redis-a" in name:
+            assert result.directions[name] == -1
+        elif "redis-b" in name:
+            assert result.directions[name] == +1

@@ -1,0 +1,37 @@
+"""Fig. 7 — the advertising anti-cheat incident (section 5.2).
+
+Paper: a software upgrade silently broke the anti-cheating check for
+iPhone browsers, so effective advertisement clicks (a strongly seasonal
+KPI) dropped sharply; the operations team found it manually after 1.5 h,
+while FUNNEL — had it been in the loop — flagged it 10 minutes after the
+upgrade, attributing the drop to the software change despite the
+seasonality.
+"""
+
+from repro.eval.report import render_ascii_series
+from repro.simulation.cases import advertising_case
+from repro.types import Verdict
+
+
+def test_fig7_advertising_incident(benchmark):
+    result = benchmark.pedantic(advertising_case, rounds=1, iterations=1)
+    print()
+    window = result.clicks[result.change_index - 600:
+                           result.change_index + 600]
+    print(render_ascii_series(
+        window,
+        title="Fig. 7: normalised effective clicks (upgrade at centre, "
+              "recovery %d min later)" % (result.recovery_index
+                                          - result.change_index)))
+    print("verdict: %s, control: %s, DiD alpha: %.2f"
+          % (result.assessment.verdict.value, result.assessment.control,
+             result.assessment.did_estimate))
+    print("detection delay: %d min (paper: ~10 min; manual assessment: "
+          "%d min)" % (result.detection_delay_minutes,
+                       result.manual_delay_minutes))
+
+    assert result.assessment.verdict is Verdict.CAUSED_BY_CHANGE
+    assert result.assessment.control == "history"
+    assert result.assessment.change.direction == -1
+    assert result.detected_within_10_minutes
+    assert result.detection_delay_minutes < result.manual_delay_minutes / 3

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""The advertising anti-cheat incident (paper section 5.2, Fig. 7).
+
+A software upgrade silently breaks the anti-cheating check for iPhone
+browsers: every iPhone click gets classified as a cheat and the
+*effective clicks* KPI — strongly seasonal — drops sharply.  Manually
+the operations team needed 1.5 hours to notice; FUNNEL flags the drop
+within ~10 minutes and attributes it to the upgrade using the 30-day
+historical control (the upgrade was fully launched, so there is no peer
+control group).
+
+Run:
+    python examples/advertising_incident.py
+"""
+
+from repro.eval.report import render_ascii_series
+from repro.simulation import advertising_case
+from repro.types import Verdict
+
+
+def main() -> None:
+    result = advertising_case()
+
+    window = result.clicks[result.change_index - 360:
+                           result.change_index + 360]
+    print(render_ascii_series(
+        window, height=14,
+        title="effective clicks, +-6h around the upgrade "
+              "(drop at centre, fixed %d min later)"
+              % (result.recovery_index - result.change_index)))
+
+    assessment = result.assessment
+    print()
+    print("verdict:          ", assessment.verdict.value)
+    print("control group:    ", assessment.control,
+          "(Full Launching: no peers, 30 historical days)")
+    print("DiD impact:        %+.1f robust sigmas"
+          % assessment.did_estimate)
+    print("detection delay:   %d minutes" % result.detection_delay_minutes)
+    print("manual assessment: %d minutes (the paper's incident)"
+          % result.manual_delay_minutes)
+    saved = result.manual_delay_minutes - result.detection_delay_minutes
+    print("time saved:        %d minutes of advertising revenue" % saved)
+
+    assert assessment.verdict is Verdict.CAUSED_BY_CHANGE
+    assert result.detected_within_10_minutes
+
+
+if __name__ == "__main__":
+    main()

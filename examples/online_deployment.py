@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""A (scaled-down) week of online FUNNEL deployment (paper section 5).
+
+Simulates the production setting of Table 3: a stream of software
+changes per day, each with hundreds of monitored KPIs, a ~1% impact
+rate, FUNNEL assessing everything online.  Prints the Table 3 row —
+plus the recall, which the paper could not measure because operators
+only verified FUNNEL's detections.
+
+Run (takes ~1 minute at the default scale):
+    python examples/online_deployment.py
+"""
+
+from repro.simulation import DeploymentSpec, simulate_week
+
+
+def main() -> None:
+    spec = DeploymentSpec(scale=0.0008, days=7)
+    print("simulating %d days x %d changes/day ..."
+          % (spec.days, spec.changes_per_day))
+
+    def progress(day, counters):
+        print("  day %d: %5d KPIs assessed, %4d detections, "
+              "precision so far %.2f%%"
+              % (day + 1, counters.kpis, counters.detections,
+                 100.0 * counters.precision))
+
+    report = simulate_week(spec, progress=progress)
+    row = report.as_table3_row()
+
+    print()
+    print("Table 3 (daily averages, volume scaled by %.4g):" % spec.scale)
+    print("  software changes / day:   %8.0f   (paper: 24119)"
+          % row["software_changes_per_day"])
+    print("  changes with impact / day:%8.0f   (paper:   268)"
+          % row["impactful_changes_per_day"])
+    print("  KPIs / day:               %8.0f   (paper: 2256390)"
+          % row["kpis_per_day"])
+    print("  KPI changes / day:        %8.0f   (paper: 10249)"
+          % row["kpi_changes_per_day"])
+    print("  precision:                %8.2f%%  (paper: 98.21%%)"
+          % (100.0 * row["precision"]))
+    print("  recall:                   %8.2f%%  (unmeasured in the paper)"
+          % (100.0 * row["recall"]))
+
+    assert row["precision"] > 0.9
+
+
+if __name__ == "__main__":
+    main()

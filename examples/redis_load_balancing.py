@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""The Redis load-balancing case (paper section 5.1, Fig. 6).
+
+A configuration change rebalances query traffic from the saturated
+class A Redis servers (whose NICs ran near capacity) to the underused
+class B servers.  FUNNEL assesses all 118 KPIs in the impact set and
+flags only the NIC-throughput changes — downward on class A, upward on
+class B — *validating* the expected effect of the change despite NIC
+throughput's strong natural variability.
+
+Run:
+    python examples/redis_load_balancing.py
+"""
+
+from repro.eval.report import render_ascii_series
+from repro.simulation import redis_case
+
+
+def main() -> None:
+    result = redis_case()
+
+    print(render_ascii_series(
+        result.class_a_example, height=10,
+        title="class A NIC throughput (config change at t=%d)"
+              % result.change_index))
+    print()
+    print(render_ascii_series(
+        result.class_b_example, height=10,
+        title="class B NIC throughput"))
+
+    a_down = [k for k in result.flagged
+              if "redis-a" in k and result.directions[k] < 0]
+    b_up = [k for k in result.flagged
+            if "redis-b" in k and result.directions[k] > 0]
+    spurious = [k for k in result.flagged if "other" in k]
+
+    print()
+    print("KPIs in the impact set:     %d (paper: 118)"
+          % result.total_kpis)
+    print("KPI changes attributed:     %d (paper: 16)"
+          % result.flagged_count)
+    print("  class A, NIC down:        %d" % len(a_down))
+    print("  class B, NIC up:          %d" % len(b_up))
+    print("  unrelated KPIs flagged:   %d" % len(spurious))
+    print()
+    print("The rebalancing worked: traffic moved from class A to "
+          "class B, and FUNNEL confirmed it from telemetry alone.")
+
+    assert len(a_down) >= 6 and len(b_up) >= 6
+    assert len(spurious) <= 1
+
+
+if __name__ == "__main__":
+    main()

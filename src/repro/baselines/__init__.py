@@ -1,0 +1,10 @@
+"""Comparison baselines: CUSUM (MERCURY) and MRLS (PRISM) + Robust PCA."""
+
+from .cusum import CusumDetector, CusumParams
+from .mrls import MrlsDetector, MrlsParams
+from .rpca import RpcaResult, robust_pca
+from .wow import WeekOverWeekDetector, WowParams
+
+__all__ = ["CusumDetector", "CusumParams", "MrlsDetector", "MrlsParams",
+           "RpcaResult", "robust_pca",
+           "WeekOverWeekDetector", "WowParams"]

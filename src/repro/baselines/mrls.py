@@ -1,0 +1,211 @@
+"""MRLS — Multiscale Robust Local Subspace (the PRISM baseline, [18]).
+
+PRISM (Mahimkar et al., CoNEXT 2011) detects maintenance-induced
+behaviour changes by modelling the *local* normal behaviour of a KPI as a
+low-dimensional subspace fitted robustly (l1 criterion) at several time
+scales, and scoring how far the most recent samples fall outside that
+subspace.  The FUNNEL paper does not restate the algorithm; this
+implementation follows the cited construction:
+
+* each sliding window is analysed at ``scales`` (1-, 2-, 4-minute
+  aggregation) to catch both abrupt and slow changes;
+* at each scale the window's trajectory (Hankel) matrix is separated
+  into a low-rank local subspace plus sparse deviations with Robust PCA
+  (:func:`repro.baselines.rpca.robust_pca` — the iterated-SVD l1 step the
+  paper's section 1 identifies as MRLS's cost);
+* the change score is the robustly-normalised sparse energy attributed
+  to the trailing samples of the window, maximised across scales.
+
+The reproduction preserves the two behaviours the paper reports: low
+detection delay with robustness to baseline contamination, but high
+sensitivity to spikes in *variable* KPIs (the sparse component cannot
+distinguish a persistent shift from a large one-off excursion — Table 1's
+57.95% accuracy on variable data) and a per-window cost dominated by
+dozens of full SVDs (Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.hankel import diagonal_average, hankel_matrix
+from ..core.robust import MAD_TO_SIGMA, median_and_mad
+from ..core.scoring import classify_change, estimate_change_start
+from ..exceptions import InsufficientDataError, ParameterError
+from ..types import DetectedChange, as_float_array
+from .rpca import robust_pca
+
+__all__ = ["MrlsParams", "MrlsDetector"]
+
+
+@dataclass(frozen=True)
+class MrlsParams:
+    """MRLS tuning knobs.
+
+    Attributes:
+        window: sliding-window length ``W`` (paper best: 32).
+        scales: aggregation factors for the multiscale analysis.
+        recent: number of trailing (finest-scale) samples whose sparse
+            energy constitutes the change score.
+        threshold: declared-change bound on the normalised score.
+        spike_weight: down-weighting of the sparse (outlier) channel
+            relative to the low-rank (persistent shift) channel.
+        rpca_tolerance / rpca_max_iterations: forwarded to Robust PCA.
+    """
+
+    window: int = 32
+    scales: Tuple[int, ...] = (1, 2, 4)
+    recent: int = 4
+    threshold: float = 4.0
+    spike_weight: float = 0.4
+    rpca_tolerance: float = 1e-6
+    rpca_max_iterations: int = 100
+    rpca_sparsity_scale: float = 1.0
+    """Multiplier on Robust PCA's default ``1/sqrt(max(m, n))`` sparsity
+    weight.  Lower values keep young level shifts in the sparse component
+    longer (slower, more conservative detection) — used by the ablation
+    benches to trade delay against false positives."""
+
+    def __post_init__(self) -> None:
+        if self.window < 8:
+            raise ParameterError("window must be >= 8, got %d" % self.window)
+        if not self.scales:
+            raise ParameterError("at least one scale is required")
+        if any(s < 1 for s in self.scales):
+            raise ParameterError("scales must be positive, got %r"
+                                 % (self.scales,))
+        if max(self.scales) * 4 > self.window:
+            raise ParameterError(
+                "largest scale %d too coarse for window %d"
+                % (max(self.scales), self.window)
+            )
+        if not 1 <= self.recent <= self.window:
+            raise ParameterError("recent must be in [1, window]")
+        if self.threshold <= 0:
+            raise ParameterError("threshold must be positive")
+
+
+def _aggregate(window_values: np.ndarray, scale: int) -> np.ndarray:
+    """Average ``window_values`` over non-overlapping blocks of ``scale``."""
+    if scale == 1:
+        return window_values
+    usable = (window_values.size // scale) * scale
+    return window_values[-usable:].reshape(-1, scale).mean(axis=1)
+
+
+class MrlsDetector:
+    """Sliding-window multiscale robust-local-subspace change detector."""
+
+    def __init__(self, params: MrlsParams = None) -> None:
+        self.params = params or MrlsParams()
+
+    def statistic_for_window(self, window_values: Sequence[float]) -> float:
+        """Normalised multiscale sparse-energy score for one window."""
+        x = as_float_array(window_values, name="window")
+        p = self.params
+        if x.size < p.window:
+            raise InsufficientDataError(
+                "window has %d samples, need %d" % (x.size, p.window)
+            )
+        # Normalise by the *leading* half only: the trailing samples are
+        # the ones under test and would deflate the scale when a change
+        # is present in the window.
+        _, scale_est = median_and_mad(x[:x.size // 2])
+        sigma = MAD_TO_SIGMA * scale_est + 1e-9
+
+        best = 0.0
+        for scale in p.scales:
+            agg = _aggregate(x, scale)
+            emb = max(3, agg.size // 3)
+            count = agg.size - emb + 1
+            recent = max(1, -(-p.recent // scale))    # ceil division
+            if count <= recent:
+                continue
+            trajectory = hankel_matrix(agg, emb, count)
+            sparsity = (p.rpca_sparsity_scale
+                        / np.sqrt(max(trajectory.shape)))
+            result = robust_pca(
+                trajectory,
+                sparsity=sparsity,
+                tolerance=p.rpca_tolerance,
+                max_iterations=p.rpca_max_iterations,
+            )
+            # Map both components back to the time domain.  The l1
+            # criterion treats a *young* level shift as sparse outliers:
+            # only once the new level occupies enough of the window does
+            # the nuclear norm find it cheaper to absorb it into the
+            # local subspace — at which point the low-rank reconstruction
+            # shows the shift.  This absorption lag is what gives MRLS
+            # its multi-minute detection delay on genuine changes
+            # (Fig. 5) despite its robustness to outliers.
+            smooth = diagonal_average(result.low_rank)
+            outliers = diagonal_average(result.sparse)
+
+            baseline = np.median(smooth[:count - recent])
+            shift_score = abs(
+                float(np.median(smooth[-max(recent, 2):])) - baseline
+            ) / sigma
+            # The sparse channel fires immediately on any excursion, but
+            # only *outsized* ones (the benign spikes of variable KPIs)
+            # should cross a threshold calibrated for level shifts — hence
+            # the down-weighting.
+            spike_score = float(np.abs(outliers[-recent:]).max()) / sigma
+            best = max(best, shift_score, p.spike_weight * spike_score)
+        return best
+
+    def scores(self, series: Sequence[float]) -> np.ndarray:
+        """Per-index MRLS statistic, normalised by the threshold.
+
+        ``scores[t] > 1`` means the window ending at ``t`` scored above
+        the declaration threshold.
+        """
+        x = as_float_array(series)
+        p = self.params
+        if x.size < p.window:
+            raise InsufficientDataError(
+                "series of length %d is shorter than the window %d"
+                % (x.size, p.window)
+            )
+        out = np.zeros(x.size, dtype=np.float64)
+        for end in range(p.window, x.size + 1):
+            stat = self.statistic_for_window(x[end - p.window:end])
+            out[end - 1] = stat / p.threshold
+        return out
+
+    def detect(self, series: Sequence[float],
+               first_only: bool = False) -> List[DetectedChange]:
+        """Declared changes at threshold crossings of the MRLS statistic."""
+        x = as_float_array(series)
+        p = self.params
+        if x.size < p.window:
+            raise InsufficientDataError(
+                "series of length %d is shorter than the window %d"
+                % (x.size, p.window)
+            )
+        changes: List[DetectedChange] = []
+        end = p.window
+        while end <= x.size:
+            stat = self.statistic_for_window(x[end - p.window:end])
+            if stat > p.threshold:
+                detected_at = end - 1
+                start = estimate_change_start(x, detected_at,
+                                              baseline=max(1, end - p.window))
+                kind = classify_change(x, start, detected_at)
+                window = x[end - p.window:end]
+                direction = 1 if x[detected_at] >= np.median(window) else -1
+                changes.append(DetectedChange(
+                    index=detected_at,
+                    start_index=start,
+                    score=stat / p.threshold,
+                    kind=kind,
+                    direction=direction,
+                ))
+                if first_only:
+                    break
+                end += p.window
+            else:
+                end += 1
+        return changes

@@ -1,0 +1,8 @@
+"""Software changes: records, the change log, rollout policies."""
+
+from .change import ConfigScope, SoftwareChange, next_change_id
+from .log import ChangeLog
+from .rollout import RolloutPlan, RolloutPolicy, plan_rollout
+
+__all__ = ["ConfigScope", "SoftwareChange", "next_change_id", "ChangeLog",
+           "RolloutPlan", "RolloutPolicy", "plan_rollout"]

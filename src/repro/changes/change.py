@@ -1,0 +1,139 @@
+"""Software-change records — paper section 2.1.
+
+FUNNEL assesses two change types: *software upgrades* (new features, bug
+fixes, performance work — assessed as a whole, not per feature) and
+*configuration changes* (OS/infrastructure configuration, service
+configuration, deployment scale, data source).  A change is identified
+by the service it targets, the servers it was deployed on, and its
+timestamp; whether it was Dark or Full launched follows from comparing
+the deployed servers with the service's full deployment.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..exceptions import ChangeLogError
+from ..types import ChangeKind, LaunchMode
+
+__all__ = ["SoftwareChange", "ConfigScope", "next_change_id",
+           "combine_changes"]
+
+_change_counter = itertools.count(1)
+
+
+def next_change_id() -> str:
+    """A process-unique change identifier (``chg-000001``-style)."""
+    return "chg-%06d" % next(_change_counter)
+
+
+class ConfigScope:
+    """The configuration-change scopes enumerated in section 2.1."""
+
+    OS = "os"
+    INFRASTRUCTURE = "infrastructure"
+    SERVICE = "service"
+    DEPLOYMENT_SCALE = "deployment_scale"
+    DATA_SOURCE = "data_source"
+
+    ALL = (OS, INFRASTRUCTURE, SERVICE, DEPLOYMENT_SCALE, DATA_SOURCE)
+
+
+@dataclass(frozen=True)
+class SoftwareChange:
+    """One software change as recorded in the change deployment logs.
+
+    Attributes:
+        change_id: unique identifier.
+        kind: upgrade or configuration change.
+        service: the changed service's name.
+        hostnames: servers the change was deployed on (the tservers).
+        at_time: deployment timestamp (simulation seconds).
+        description: operator-facing summary.
+        config_scope: for configuration changes, one of
+            :class:`ConfigScope`; ``None`` for upgrades.
+    """
+
+    change_id: str
+    kind: ChangeKind
+    service: str
+    hostnames: Tuple[str, ...]
+    at_time: int
+    description: str = ""
+    config_scope: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.change_id:
+            raise ChangeLogError("change_id must be non-empty")
+        if not self.service:
+            raise ChangeLogError("change %s names no service" % self.change_id)
+        hostnames = tuple(self.hostnames)
+        if not hostnames:
+            raise ChangeLogError(
+                "change %s deployed on no servers" % self.change_id
+            )
+        if len(set(hostnames)) != len(hostnames):
+            raise ChangeLogError(
+                "change %s lists duplicate servers" % self.change_id
+            )
+        object.__setattr__(self, "hostnames", hostnames)
+        if self.kind is ChangeKind.CONFIG_CHANGE:
+            if (self.config_scope is not None
+                    and self.config_scope not in ConfigScope.ALL):
+                raise ChangeLogError(
+                    "invalid config scope %r" % self.config_scope
+                )
+        elif self.config_scope is not None:
+            raise ChangeLogError(
+                "software upgrades carry no config scope"
+            )
+
+    def launch_mode(self, service_hostnames: Tuple[str, ...]) -> LaunchMode:
+        """Dark vs Full launching, given the service's full deployment."""
+        remaining = set(service_hostnames) - set(self.hostnames)
+        return LaunchMode.DARK if remaining else LaunchMode.FULL
+
+
+def combine_changes(changes: "Tuple[SoftwareChange, ...]",
+                    description: str = "") -> SoftwareChange:
+    """Merge concurrent/consecutive same-service changes into one record.
+
+    Section 2.1 excludes interactions across multiple concurrent changes
+    on a server but notes they "can be considered as one combined change
+    as a straw man approach" — this is that straw man: the combined
+    record targets the union of the servers, is stamped with the earliest
+    deployment time, and is typed as an upgrade if any member is one
+    (the broader of the two kinds).
+
+    Raises:
+        ChangeLogError: if the changes span multiple services or the
+            input is empty.
+    """
+    members = tuple(changes)
+    if not members:
+        raise ChangeLogError("cannot combine zero changes")
+    services = {c.service for c in members}
+    if len(services) != 1:
+        raise ChangeLogError(
+            "combined changes must share one service, got %s"
+            % sorted(services)
+        )
+    hostnames = tuple(dict.fromkeys(
+        host for change in members for host in change.hostnames
+    ))
+    kind = (ChangeKind.SOFTWARE_UPGRADE
+            if any(c.kind is ChangeKind.SOFTWARE_UPGRADE for c in members)
+            else ChangeKind.CONFIG_CHANGE)
+    joined = description or "; ".join(
+        c.description for c in members if c.description
+    )
+    return SoftwareChange(
+        change_id=next_change_id(),
+        kind=kind,
+        service=members[0].service,
+        hostnames=hostnames,
+        at_time=min(c.at_time for c in members),
+        description=joined,
+    )

@@ -1,0 +1,83 @@
+"""The change deployment log.
+
+Paper section 3.1: "The set of tservers is directly obtained from the
+software change logs."  The log is the source of truth FUNNEL reads
+impact sets from; it also enforces the operational practice section 3.1
+relies on: "The operations team usually does not deploy two software
+changes in one service at the same time."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from ..exceptions import ChangeLogError
+from .change import SoftwareChange
+
+__all__ = ["ChangeLog"]
+
+
+class ChangeLog:
+    """Append-only record of software changes, indexed by service and time."""
+
+    def __init__(self, concurrency_guard_seconds: int = 3600) -> None:
+        """Args:
+            concurrency_guard_seconds: two changes to the *same service*
+                closer than this are rejected, encoding the no-concurrent-
+                changes practice (1 hour matches the paper's assessment
+                horizon).  Set 0 to disable.
+        """
+        self._by_id: Dict[str, SoftwareChange] = {}
+        self._by_service: Dict[str, List[SoftwareChange]] = {}
+        self.concurrency_guard_seconds = concurrency_guard_seconds
+
+    def record(self, change: SoftwareChange) -> SoftwareChange:
+        """Append a change; rejects duplicates and same-service overlaps."""
+        if change.change_id in self._by_id:
+            raise ChangeLogError("duplicate change id %r" % change.change_id)
+        if self.concurrency_guard_seconds:
+            for other in self._by_service.get(change.service, ()):
+                if (abs(other.at_time - change.at_time)
+                        < self.concurrency_guard_seconds):
+                    raise ChangeLogError(
+                        "change %s overlaps %s on service %r within the "
+                        "%d-second guard"
+                        % (change.change_id, other.change_id, change.service,
+                           self.concurrency_guard_seconds)
+                    )
+        self._by_id[change.change_id] = change
+        self._by_service.setdefault(change.service, []).append(change)
+        self._by_service[change.service].sort(key=lambda c: c.at_time)
+        return change
+
+    # -- queries -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self) -> Iterator[SoftwareChange]:
+        return iter(sorted(self._by_id.values(), key=lambda c: c.at_time))
+
+    def get(self, change_id: str) -> SoftwareChange:
+        try:
+            return self._by_id[change_id]
+        except KeyError:
+            raise ChangeLogError("unknown change id %r" % change_id) from None
+
+    def for_service(self, service: str) -> List[SoftwareChange]:
+        return list(self._by_service.get(service, ()))
+
+    def in_window(self, from_time: int, to_time: int) -> List[SoftwareChange]:
+        """Changes with ``from_time <= at_time < to_time``, time-ordered."""
+        return [c for c in self if from_time <= c.at_time < to_time]
+
+    def latest_before(self, service: str,
+                      at_time: int) -> Optional[SoftwareChange]:
+        """The most recent change to ``service`` strictly before ``at_time``.
+
+        Used to assess baseline contamination: a recent prior change may
+        still pollute the 30-day historical control.
+        """
+        candidates = [c for c in self._by_service.get(service, ())
+                      if c.at_time < at_time]
+        return candidates[-1] if candidates else None

@@ -1,0 +1,116 @@
+"""Rollout policies: Dark Launching and Full Launching.
+
+Paper section 1: instead of rolling a change out to all servers at once,
+the operations team "deploys the software change on a subset of servers
+at the beginning and continuously monitors a predefined list of KPIs"
+(Dark Launching).  The rollout policy decides the treated subset; the
+remainder become the control group FUNNEL's DiD stage compares against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ChangeLogError, ParameterError
+from ..types import ChangeKind, LaunchMode
+from .change import SoftwareChange, next_change_id
+
+__all__ = ["RolloutPolicy", "RolloutPlan", "plan_rollout"]
+
+
+@dataclass(frozen=True)
+class RolloutPolicy:
+    """How a change is deployed across a service's servers.
+
+    Attributes:
+        mode: Dark or Full launching.
+        treated_fraction: for Dark launches, the fraction of servers in
+            the first stage (at least one server is always treated and at
+            least one is always left as control).
+        seed: RNG seed for choosing the treated subset.
+    """
+
+    mode: LaunchMode = LaunchMode.DARK
+    treated_fraction: float = 0.25
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.mode is LaunchMode.DARK:
+            if not 0.0 < self.treated_fraction < 1.0:
+                raise ParameterError(
+                    "treated_fraction must be in (0, 1) for dark launches, "
+                    "got %g" % self.treated_fraction
+                )
+
+
+@dataclass(frozen=True)
+class RolloutPlan:
+    """The concrete treated/control split for one change."""
+
+    treated: Tuple[str, ...]
+    control: Tuple[str, ...]
+    mode: LaunchMode
+
+    def __post_init__(self) -> None:
+        overlap = set(self.treated) & set(self.control)
+        if overlap:
+            raise ChangeLogError(
+                "servers in both treated and control groups: %s"
+                % sorted(overlap)
+            )
+        if not self.treated:
+            raise ChangeLogError("rollout plan treats no servers")
+        if self.mode is LaunchMode.DARK and not self.control:
+            raise ChangeLogError("dark launch with an empty control group")
+        if self.mode is LaunchMode.FULL and self.control:
+            raise ChangeLogError("full launch with a control group")
+
+    def to_change(self, service: str, kind: ChangeKind, at_time: int,
+                  description: str = "",
+                  config_scope: str = None) -> SoftwareChange:
+        """Materialise the plan as a change-log record."""
+        return SoftwareChange(
+            change_id=next_change_id(),
+            kind=kind,
+            service=service,
+            hostnames=self.treated,
+            at_time=at_time,
+            description=description,
+            config_scope=config_scope,
+        )
+
+
+def plan_rollout(hostnames: Sequence[str],
+                 policy: RolloutPolicy = None) -> RolloutPlan:
+    """Split a service's servers into treated and control groups.
+
+    For Dark launches picks ``ceil(n * treated_fraction)`` servers
+    (clamped so both groups are non-empty); Full launches treat all.
+
+    Raises:
+        ParameterError: for an empty server list, or a single-server
+            service asked to dark-launch (no control group possible).
+    """
+    hosts: List[str] = list(dict.fromkeys(hostnames))
+    if not hosts:
+        raise ParameterError("cannot plan a rollout over zero servers")
+    policy = policy or RolloutPolicy()
+
+    if policy.mode is LaunchMode.FULL:
+        return RolloutPlan(treated=tuple(hosts), control=(),
+                           mode=LaunchMode.FULL)
+
+    if len(hosts) < 2:
+        raise ParameterError(
+            "dark launching needs at least 2 servers, got %d" % len(hosts)
+        )
+    count = int(np.ceil(len(hosts) * policy.treated_fraction))
+    count = max(1, min(count, len(hosts) - 1))
+    rng = np.random.default_rng(policy.seed)
+    treated_idx = rng.choice(len(hosts), size=count, replace=False)
+    treated = tuple(hosts[i] for i in sorted(treated_idx))
+    control = tuple(h for h in hosts if h not in set(treated))
+    return RolloutPlan(treated=treated, control=control, mode=LaunchMode.DARK)

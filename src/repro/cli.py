@@ -1,0 +1,210 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``detect``   — declare behaviour changes in one KPI series CSV.
+* ``assess``   — full FUNNEL assessment: treated (+ optional control /
+  history) wide CSVs around a change minute; prints the verdict.
+* ``generate`` — write a synthetic treated/control pair to CSV, for
+  trying the tool without production data.
+* ``cost``     — measure the Table 2 per-window costs on this machine.
+
+All commands emit JSON on stdout so they compose with shell tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from . import __version__
+from .core.funnel import Funnel, FunnelConfig
+from .core.rsst import ImprovedSSTParams
+from .exceptions import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FUNNEL: impact assessment of software changes "
+                    "(CoNEXT'15 reproduction)",
+    )
+    parser.add_argument("--version", action="version",
+                        version="repro %s" % __version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    detect = sub.add_parser("detect", help="declare behaviour changes in "
+                            "one series CSV (timestamp,value)")
+    detect.add_argument("series", help="long-format CSV path")
+    detect.add_argument("--change-minute", type=int, default=0,
+                        help="bin index of the software change "
+                             "(default: 0 = scan everything)")
+    _add_funnel_options(detect)
+
+    assess = sub.add_parser("assess", help="assess one change with "
+                            "treated/control wide CSVs")
+    assess.add_argument("treated", help="wide CSV of treated units")
+    assess.add_argument("--control", help="wide CSV of control units "
+                        "(cservers/cinstances)")
+    assess.add_argument("--history", help="wide CSV whose columns are "
+                        "historical days (same clock window)")
+    assess.add_argument("--change-minute", type=int, required=True,
+                        help="bin index of the software change")
+    _add_funnel_options(assess)
+
+    generate = sub.add_parser("generate", help="write a synthetic "
+                              "treated/control pair to CSV")
+    generate.add_argument("--out-treated", required=True)
+    generate.add_argument("--out-control", required=True)
+    generate.add_argument("--character", default="stationary",
+                          choices=("seasonal", "stationary", "variable"))
+    generate.add_argument("--effect-sigmas", type=float, default=6.0)
+    generate.add_argument("--minutes", type=int, default=240)
+    generate.add_argument("--change-minute", type=int, default=120)
+    generate.add_argument("--seed", type=int, default=0)
+
+    cost = sub.add_parser("cost", help="measure per-window costs "
+                          "(Table 2) on this machine")
+    cost.add_argument("--seconds", type=float, default=0.5,
+                      help="measurement budget per method")
+
+    return parser
+
+
+def _add_funnel_options(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--omega", type=int, default=9,
+                     help="SST window (5=quick, 9=default, 15=precise)")
+    sub.add_argument("--did-threshold", type=float, default=0.5,
+                     help="normalised DiD attribution threshold")
+
+
+def _funnel_from(args: argparse.Namespace) -> Funnel:
+    config = FunnelConfig(
+        sst=ImprovedSSTParams(omega=args.omega),
+        did_threshold=args.did_threshold,
+    )
+    return Funnel(config)
+
+
+def _cmd_detect(args: argparse.Namespace) -> dict:
+    from .io.csvio import read_series
+    series = read_series(args.series)
+    funnel = _funnel_from(args)
+    changes = funnel.detect(series.values, change_index=args.change_minute)
+    return {
+        "series_bins": len(series),
+        "changes": [
+            {
+                "declared_at_bin": c.index,
+                "start_bin": c.start_index,
+                "kind": c.kind,
+                "direction": c.direction,
+                "score": round(c.score, 4),
+            }
+            for c in changes
+        ],
+    }
+
+
+def _cmd_assess(args: argparse.Namespace) -> dict:
+    from .io.csvio import read_matrix
+    treated, units, _, _ = read_matrix(args.treated)
+    control = history = None
+    if args.control:
+        control, _, _, _ = read_matrix(args.control)
+    if args.history:
+        history, _, _, _ = read_matrix(args.history)
+    funnel = _funnel_from(args)
+    result = funnel.assess(treated, args.change_minute, control=control,
+                           history=history)
+    out = {
+        "verdict": result.verdict.value,
+        "control": result.control,
+        "treated_units": len(units),
+    }
+    if result.did_estimate is not None:
+        out["did_normalised_alpha"] = round(result.did_estimate, 4)
+    if result.change is not None:
+        out["change"] = {
+            "declared_at_bin": result.change.index,
+            "start_bin": result.change.start_index,
+            "kind": result.change.kind,
+            "direction": result.change.direction,
+        }
+    if result.notes:
+        out["notes"] = list(result.notes)
+    return out
+
+
+def _cmd_generate(args: argparse.Namespace) -> dict:
+    from .io.csvio import write_matrix
+    from .synthetic.effects import LevelShift
+    from .synthetic.patterns import pattern_for_character
+    from .synthetic.workload import GroupTraceConfig, generate_group
+    from .types import KpiCharacter
+
+    rng = np.random.default_rng(args.seed)
+    pattern = pattern_for_character(KpiCharacter(args.character))
+    scale = pattern.typical_scale()
+    traces = generate_group(GroupTraceConfig(
+        pattern=pattern,
+        n_treated=4, n_control=12, n_bins=args.minutes,
+        unit_offset_sigma=0.5 * scale, idiosyncratic_sigma=0.6 * scale,
+        treated_effects=(LevelShift(
+            start=args.change_minute,
+            magnitude=args.effect_sigmas * scale),),
+    ), rng)
+    write_matrix(traces.treated,
+                 ["treated-%d" % i for i in range(4)], 0, 60,
+                 args.out_treated)
+    write_matrix(traces.control,
+                 ["control-%d" % i for i in range(12)], 0, 60,
+                 args.out_control)
+    return {
+        "treated": args.out_treated,
+        "control": args.out_control,
+        "change_minute": args.change_minute,
+        "character": args.character,
+    }
+
+
+def _cmd_cost(args: argparse.Namespace) -> dict:
+    from .eval.cost import measure_method_costs
+    reports = measure_method_costs(min_seconds=args.seconds)
+    return {
+        name: {
+            "us_per_window": round(r.microseconds_per_window, 2),
+            "cores_for_1m_kpis": r.cores_for(),
+        }
+        for name, r in reports.items()
+    }
+
+
+_COMMANDS = {
+    "detect": _cmd_detect,
+    "assess": _cmd_assess,
+    "generate": _cmd_generate,
+    "cost": _cmd_cost,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        result = _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(json.dumps({"error": str(exc)}), file=sys.stderr)
+        return 1
+    print(json.dumps(result, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,273 @@
+"""IKA-accelerated improved SST — paper section 3.2.3, Eq. 13-14.
+
+The exact path in :mod:`repro.core.rsst` spends almost all of its time in
+the SVD of the past Hankel matrix.  The Implicit Krylov Approximation of
+Ide & Tsuda (2007) removes it:
+
+* ``C = B(t) B(t)^T`` is never formed — matrix-vector products with ``C``
+  are evaluated implicitly from the raw samples ("matrix compression and
+  implicit inner product calculation",
+  :class:`repro.core.hankel.HankelOperator`);
+* for each future direction ``beta_i(t)``, ``k`` Lanczos steps seeded at
+  ``beta_i`` produce a ``k x k`` tridiagonal ``T_k`` with
+  ``k = 2*eta`` (eta even) or ``2*eta - 1`` (eta odd) — Eq. 14;
+* the QL iteration (:func:`repro.core.tridiag.tridiag_eigh`) diagonalises
+  ``T_k``; because the seed is the first Lanczos basis vector, the squared
+  first components of the top ``eta`` eigenvectors of ``T_k`` are exactly
+  the squared projections of ``beta_i`` onto the Ritz approximations of
+  the past subspace, giving Eq. 13::
+
+      phi_i(t) ~= 1 - sum_{j=1..eta} x_j(1)^2
+
+Two code paths compute the same transform:
+
+* :meth:`IkaSST.score_at` / :meth:`IkaSST.scores_reference` — the
+  literal per-point algorithm above (one Lanczos recursion and one scalar
+  QL solve per future direction).  This is the specification.
+* :meth:`IkaSST.scores` — the deployed path: the identical recursion
+  evaluated for *every* window of the series simultaneously with batched
+  NumPy primitives (strided Hankel views, ``einsum`` for the implicit
+  products, stacked ``eigh`` for the tiny tridiagonals).  In a compiled
+  implementation the per-point path is already fast; under an interpreter
+  the batching recovers the paper's per-window cost profile without
+  changing a single arithmetic step.  The test suite pins the two paths
+  to each other.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from ..exceptions import InsufficientDataError
+from ..types import as_float_array
+from .hankel import HankelOperator, future_matrix
+from .lanczos import krylov_dimension, lanczos
+from .rsst import ImprovedSSTParams, median_mad_gate
+from .tridiag import tridiag_eigh
+
+__all__ = ["IkaSST"]
+
+
+class IkaSST:
+    """Fast improved-SST scorer (the algorithm FUNNEL deploys online).
+
+    Produces the same gated change score as
+    :class:`repro.core.rsst.ImprovedSST` up to Krylov-approximation error,
+    replacing the past-matrix SVD with ``eta`` implicit Lanczos recursions
+    of dimension ``k <= 2*eta``.
+
+    Example:
+        >>> import numpy as np
+        >>> x = np.r_[np.zeros(60), np.ones(60)] + 0.01
+        >>> scorer = IkaSST()
+        >>> scores = scorer.scores(x)
+        >>> 50 < int(np.argmax(scores)) < 95
+        True
+    """
+
+    def __init__(self, params: ImprovedSSTParams = None) -> None:
+        self.params = params or ImprovedSSTParams()
+        self.krylov_k = krylov_dimension(self.params.eta)
+
+    # ------------------------------------------------------------------
+    # Reference (per-point) path
+    # ------------------------------------------------------------------
+
+    def future_pairs(self, series: Sequence[float],
+                     t: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(lambda_{1:eta}, beta_{1:eta})`` of ``A(t) A(t)^T``.
+
+        Uses the eigen-decomposition of the small ``omega x omega`` Gram
+        matrix rather than an SVD of the trajectory matrix.
+        """
+        p = self.params
+        a = future_matrix(series, t, p.omega, p.gamma, lag=0)
+        gram = a @ a.T
+        lam, vec = np.linalg.eigh(gram)        # ascending
+        lam = np.clip(lam, 0.0, None)
+        if p.future_directions == "largest":
+            sel = slice(-1, -(p.eta + 1), -1)
+        else:
+            sel = slice(0, p.eta)
+        return lam[sel].copy(), vec[:, sel].copy()
+
+    def _phi(self, operator: HankelOperator, beta: np.ndarray) -> float:
+        """Eq. 13: discordance of one future direction via Lanczos + QL."""
+        p = self.params
+        k = min(self.krylov_k, operator.window)
+        result = lanczos(operator, beta, k)
+        _, vectors = tridiag_eigh(result.alpha, result.beta)
+        # tridiag_eigh sorts ascending; the top-eta Ritz pairs are last.
+        eta = min(p.eta, result.k)
+        first_components = vectors[0, -eta:]
+        phi = 1.0 - float(np.sum(first_components ** 2))
+        return min(max(phi, 0.0), 1.0)
+
+    def raw_score_at(self, series: Sequence[float], t: int) -> float:
+        """Ungated blended score ``xhat(t)`` (Eq. 9 via Eq. 13)."""
+        p = self.params
+        operator = HankelOperator.past(series, t, p.omega, p.delta)
+        lam, betas = self.future_pairs(series, t)
+        total = float(lam.sum())
+        if total <= 0.0:
+            return 0.0
+        score = 0.0
+        for i in range(lam.size):
+            if lam[i] <= 0.0:
+                continue
+            score += lam[i] * self._phi(operator, betas[:, i])
+        return float(score / total)
+
+    def score_at(self, series: Sequence[float], t: int) -> float:
+        """Gated score ``xtilde(t)`` of Eq. 11 at one index."""
+        raw = self.raw_score_at(series, t)
+        if not self.params.gated:
+            return raw
+        return raw * median_mad_gate(series, t, self.params.omega)
+
+    def scores_reference(self, series: Sequence[float]) -> np.ndarray:
+        """Per-point path over the whole series (tests/validation only)."""
+        x = as_float_array(series)
+        lo, hi = self._score_range(x)
+        out = np.zeros(x.size, dtype=np.float64)
+        for t in range(lo, hi):
+            out[t] = self.score_at(x, t)
+        return out
+
+    # ------------------------------------------------------------------
+    # Deployed (batched) path
+    # ------------------------------------------------------------------
+
+    def scores(self, series: Sequence[float]) -> np.ndarray:
+        """Gated scores for every scoreable index (batched evaluation).
+
+        The result has the same length as ``series``; edge indices whose
+        embedding does not fit hold ``0.0``.
+        """
+        x = as_float_array(series)
+        lo, hi = self._score_range(x)
+        out = np.zeros(x.size, dtype=np.float64)
+
+        raw = self._raw_scores_batched(x, lo, hi)
+        if self.params.gated:
+            raw *= self._gates_batched(x, lo, hi)
+        out[lo:hi] = raw
+        return out
+
+    def _score_range(self, x: np.ndarray) -> Tuple[int, int]:
+        p = self.params
+        lo, hi = p.first_index(), p.last_index(x.size)
+        if hi <= lo:
+            raise InsufficientDataError(
+                "series of length %d is shorter than the window %d"
+                % (x.size, p.window_length)
+            )
+        return lo, hi
+
+    def _raw_scores_batched(self, x: np.ndarray, lo: int,
+                            hi: int) -> np.ndarray:
+        p = self.params
+        omega, eta = p.omega, p.eta
+        k = min(self.krylov_k, omega)
+        span = 2 * omega - 1          # samples per Hankel slice
+
+        # slices[s] = x[s : s + span]; windows[s, j] = x[s + j : s + j + omega]
+        slices = sliding_window_view(x, span)
+        windows = sliding_window_view(slices, omega, axis=1)
+
+        # Future trajectory at t uses the slice starting at t;
+        # the past one uses the slice ending at t - 1, i.e. start t - span.
+        fut = windows[lo:hi]                       # (T, delta, omega)
+        past = windows[lo - span:hi - span]        # (T, delta, omega)
+        n_t = fut.shape[0]
+
+        # Eigen-pairs of A A^T via the omega x omega Gram matrices.
+        gram = np.einsum("tjw,tjv->twv", fut, fut)
+        lam_all, vec_all = np.linalg.eigh(gram)    # ascending per t
+        lam_all = np.clip(lam_all, 0.0, None)
+        if p.future_directions == "largest":
+            lam = lam_all[:, :-(eta + 1):-1]       # (T, eta) descending
+            betas = vec_all[:, :, :-(eta + 1):-1]  # (T, omega, eta)
+        else:
+            lam = lam_all[:, :eta]
+            betas = vec_all[:, :, :eta]
+
+        phi = np.empty((n_t, eta), dtype=np.float64)
+        for i in range(eta):
+            phi[:, i] = self._phi_batched(past, betas[:, :, i], k, eta)
+
+        total = lam.sum(axis=1)
+        raw = np.zeros(n_t, dtype=np.float64)
+        ok = total > 0.0
+        raw[ok] = np.einsum("ti,ti->t", lam[ok], phi[ok]) / total[ok]
+        return raw
+
+    def _phi_batched(self, past: np.ndarray, seeds: np.ndarray, k: int,
+                     eta: int) -> np.ndarray:
+        """Eq. 13 for one future direction across all windows at once.
+
+        ``past`` has shape ``(T, delta, omega)`` with ``past[t, j]`` the
+        j-th column of ``B(t)``; ``seeds`` is ``(T, omega)``.  Runs the
+        same Lanczos recursion as :func:`repro.core.lanczos.lanczos`
+        vectorised over ``t``, then diagonalises the stacked ``k x k``
+        tridiagonals (stacked ``eigh`` stands in for the scalar QL solver
+        — same eigenpairs, validated against each other in the tests).
+        """
+        n_t, _, omega = past.shape
+        basis = np.zeros((n_t, omega, k), dtype=np.float64)
+        alpha = np.zeros((n_t, k), dtype=np.float64)
+        off = np.zeros((n_t, max(k - 1, 1)), dtype=np.float64)
+
+        q = seeds / np.linalg.norm(seeds, axis=1, keepdims=True)
+        basis[:, :, 0] = q
+        prev = np.zeros_like(q)
+        prev_beta = np.zeros(n_t, dtype=np.float64)
+
+        for j in range(k):
+            qj = basis[:, :, j]
+            # Implicit C v = B (B^T v): two sliding-dot einsum products.
+            pv = np.einsum("tdw,tw->td", past, qj)
+            w = np.einsum("tdw,td->tw", past, pv)
+            alpha[:, j] = np.einsum("tw,tw->t", qj, w)
+            w = w - alpha[:, j, None] * qj - prev_beta[:, None] * prev
+            # Full reorthogonalisation against the basis so far.
+            coeffs = np.einsum("twj,tw->tj", basis[:, :, :j + 1], w)
+            w = w - np.einsum("twj,tj->tw", basis[:, :, :j + 1], coeffs)
+            if j == k - 1:
+                break
+            b = np.linalg.norm(w, axis=1)
+            alive = b > 1e-12
+            off[:, j] = np.where(alive, b, 0.0)
+            prev = qj
+            prev_beta = off[:, j]
+            safe = np.where(alive, b, 1.0)
+            basis[:, :, j + 1] = np.where(alive[:, None], w / safe[:, None],
+                                          0.0)
+
+        # Stack the tridiagonals and diagonalise them together.
+        tk = np.zeros((n_t, k, k), dtype=np.float64)
+        idx = np.arange(k)
+        tk[:, idx, idx] = alpha
+        if k > 1:
+            sub = off[:, :k - 1]
+            tk[:, idx[:-1], idx[1:]] = sub
+            tk[:, idx[1:], idx[:-1]] = sub
+        _, vecs = np.linalg.eigh(tk)               # ascending per t
+        top = vecs[:, 0, -min(eta, k):]            # first components
+        phi = 1.0 - np.sum(top ** 2, axis=1)
+        return np.clip(phi, 0.0, 1.0)
+
+    def _gates_batched(self, x: np.ndarray, lo: int, hi: int) -> np.ndarray:
+        """Eq. 11 gate factors for every scoreable index at once."""
+        span = 2 * self.params.omega - 1
+        slices = sliding_window_view(x, span)
+        meds = np.median(slices, axis=1)
+        mads = np.median(np.abs(slices - meds[:, None]), axis=1)
+        # before-window of t starts at t - span; after-window starts at t.
+        before = slice(lo - span, hi - span)
+        after = slice(lo, hi)
+        return np.sqrt(np.abs(meds[before] - meds[after])) + \
+            np.sqrt(np.abs(mads[before] - mads[after]))

@@ -1,0 +1,280 @@
+"""Change-score post-processing: from scores to declared KPI changes.
+
+The transforms in :mod:`repro.core.rsst` / :mod:`repro.core.ika` output a
+per-sample change score.  This module turns scores into the paper's
+notion of a *KPI change* (section 2.3): a non-transient behaviour change —
+a level shift or a ramp up/down — declared only after it persists for at
+least :data:`PERSISTENCE_MINUTES` time-bins (section 4.1: "we set a
+threshold of 7 minutes in FUNNEL to declare a change in a time series as
+a level-shift or ramp-up/down rather than a one-off event").
+
+It also provides the robust normalisation that makes gated scores
+comparable across KPIs of wildly different magnitudes, the estimation of
+a change's *start* index (used for detection-delay evaluation, section
+4.4), and the level-shift vs. ramp classification of Fig. 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import InsufficientDataError, ParameterError
+from ..types import DetectedChange, as_float_array
+from .robust import MAD_TO_SIGMA, median_and_mad
+
+__all__ = [
+    "PERSISTENCE_MINUTES",
+    "robust_normalise",
+    "estimate_change_start",
+    "classify_change",
+    "ChangeDeclarationPolicy",
+    "declare_changes",
+]
+
+#: Minimum duration (in 1-minute bins) a deviation must persist before it
+#: is declared a KPI change rather than a one-off event.
+PERSISTENCE_MINUTES = 7
+
+
+def robust_normalise(series: Sequence[float], baseline: int = None,
+                     epsilon: float = 1e-9) -> np.ndarray:
+    """Centre/scale a series by the median/MAD of its baseline prefix.
+
+    ``(x - median) / (MAD_TO_SIGMA * MAD + epsilon)`` where the statistics
+    are computed over the first ``baseline`` samples (the pre-change
+    period), or the whole series when ``baseline`` is ``None``.  After this
+    transform the Eq. 11 gate magnitudes are in robust-sigma units, so one
+    fixed declaration threshold works for every KPI.
+    """
+    x = as_float_array(series)
+    if x.size == 0:
+        raise InsufficientDataError("cannot normalise an empty series")
+    if baseline is None:
+        baseline = x.size
+    if not 1 <= baseline <= x.size:
+        raise ParameterError(
+            "baseline must be in [1, %d], got %d" % (x.size, baseline)
+        )
+    med, scale = median_and_mad(x[:baseline])
+    return (x - med) / (MAD_TO_SIGMA * scale + epsilon)
+
+
+def estimate_change_start(series: Sequence[float], detected_at: int,
+                          baseline: int = None,
+                          threshold_sigmas: float = 3.0) -> int:
+    """Estimate the index at which a detected change actually started.
+
+    Scans backwards from ``detected_at`` and returns the first index of the
+    trailing run of samples that deviate from the pre-change baseline by
+    more than ``threshold_sigmas`` robust sigmas.  If nothing qualifies
+    (e.g. a slow ramp still inside the noise band), returns
+    ``detected_at`` itself.
+
+    Args:
+        series: the KPI samples.
+        detected_at: index at which the detector declared the change.
+        baseline: number of leading samples that are definitely
+            pre-change; defaults to ``detected_at``.
+    """
+    x = as_float_array(series)
+    if not 0 <= detected_at < x.size:
+        raise ParameterError(
+            "detected_at=%d outside series of length %d"
+            % (detected_at, x.size)
+        )
+    if baseline is None:
+        baseline = detected_at
+    baseline = max(1, min(baseline, detected_at)) or 1
+    med, scale = median_and_mad(x[:baseline])
+    band = threshold_sigmas * (MAD_TO_SIGMA * scale + 1e-9)
+    start = detected_at
+    for i in range(detected_at, -1, -1):
+        if abs(x[i] - med) > band:
+            start = i
+        else:
+            break
+    return start
+
+
+def _step_fit_sse(segment: np.ndarray) -> float:
+    """Best single-step (level-shift) fit SSE over ``segment``."""
+    n = segment.size
+    best = float(np.sum((segment - segment.mean()) ** 2))
+    cumsum = np.cumsum(segment)
+    total = cumsum[-1]
+    sq_total = float(np.sum(segment ** 2))
+    for split in range(1, n):
+        left_sum = cumsum[split - 1]
+        right_sum = total - left_sum
+        sse = (sq_total
+               - left_sum ** 2 / split
+               - right_sum ** 2 / (n - split))
+        if sse < best:
+            best = sse
+    return max(best, 0.0)
+
+
+def _ramp_fit_sse(segment: np.ndarray) -> float:
+    """Least-squares linear (ramp) fit SSE over ``segment``."""
+    n = segment.size
+    t = np.arange(n, dtype=np.float64)
+    design = np.column_stack([t, np.ones(n)])
+    coef, _, _, _ = np.linalg.lstsq(design, segment, rcond=None)
+    resid = segment - design @ coef
+    return float(resid @ resid)
+
+
+def classify_change(series: Sequence[float], start: int, detected_at: int,
+                    context: int = 10) -> str:
+    """Classify a change as ``"level_shift"`` or ``"ramp"`` (Fig. 2).
+
+    Compares the best piecewise-constant (step) fit with the best linear
+    fit over the change region plus ``context`` samples on each side.  A
+    level shift is fit much better by the step; a gradual ramp by the
+    line.  Ties (both fits comparable) default to ``"level_shift"``,
+    matching the paper's observation that level shifts are the common
+    case immediately after a software change.
+    """
+    x = as_float_array(series)
+    lo = max(0, start - context)
+    hi = min(x.size, detected_at + context + 1)
+    segment = x[lo:hi]
+    if segment.size < 4:
+        return "level_shift"
+    step_sse = _step_fit_sse(segment)
+    ramp_sse = _ramp_fit_sse(segment)
+    return "ramp" if ramp_sse < 0.8 * step_sse else "level_shift"
+
+
+@dataclass(frozen=True)
+class ChangeDeclarationPolicy:
+    """How raw change scores become declared KPI changes.
+
+    Attributes:
+        score_threshold: gated-score level that arms a candidate change.
+            With robustly normalised input (see :func:`robust_normalise`)
+            the gate is in sigma-ish units.  Arming is deliberately
+            sensitive — the median-persistence confirmation is the
+            false-positive gatekeeper, so a low arming threshold costs
+            little and keeps detection delay short.
+        persistence: bins the deviation must persist (paper: 7 minutes).
+        deviation_sigmas: how far (in robust sigmas of the pre-change
+            baseline) the persisting samples must sit from the baseline
+            median for the persistence check to count them.
+    """
+
+    score_threshold: float = 0.3
+    persistence: int = PERSISTENCE_MINUTES
+    deviation_sigmas: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.score_threshold <= 0:
+            raise ParameterError("score_threshold must be positive")
+        if self.persistence < 1:
+            raise ParameterError("persistence must be >= 1 bin")
+        if self.deviation_sigmas <= 0:
+            raise ParameterError("deviation_sigmas must be positive")
+
+
+def declare_changes(series: Sequence[float], scores: Sequence[float],
+                    policy: ChangeDeclarationPolicy = None,
+                    first_only: bool = False,
+                    lookahead: int = 0) -> List[DetectedChange]:
+    """Apply the persistence rule to a scored series.
+
+    A candidate is armed at each index whose score exceeds the
+    threshold.  The candidate becomes a declared change when the *median*
+    of the ``persistence`` bins starting at it deviates from the
+    pre-candidate baseline median by more than ``deviation_sigmas``
+    robust sigmas — a median over the persistence window is what "lasting
+    more than 7 minutes" means for a noisy series: a one-off spike or a
+    sub-threshold wobble cannot move it, while a genuine level shift or
+    ramp does even when individual bins dip back into the noise band.
+    An unconfirmed candidate is simply skipped and scanning resumes.
+
+    Args:
+        series: the (normalised or raw) KPI samples.
+        scores: per-sample change scores, same length as ``series``.
+        policy: declaration thresholds; defaults are the paper's.
+        first_only: stop after the first declared change (the online
+            deployment mode — one alert per item is enough).
+        lookahead: extra future samples the *score* at an index consumed
+            (``2*omega - 2`` for the SST family).  In deployment the
+            score at position ``t`` is only computable once those
+            samples have arrived, so the declaration index — and hence
+            the detection delay of section 4.4 — must account for them.
+
+    Returns:
+        Declared changes ordered by detection index, each carrying the
+        estimated start index, classification and direction.
+    """
+    x = as_float_array(series)
+    s = as_float_array(np.asarray(scores, dtype=np.float64), name="scores")
+    if x.size != s.size:
+        raise ParameterError(
+            "series (%d) and scores (%d) lengths differ" % (x.size, s.size)
+        )
+    policy = policy or ChangeDeclarationPolicy()
+    if lookahead < 0:
+        raise ParameterError("lookahead must be >= 0")
+    changes: List[DetectedChange] = []
+    t = 0
+    n = x.size
+    while t < n:
+        if s[t] <= policy.score_threshold:
+            t += 1
+            continue
+        declared = _confirm_candidate(x, s, t, policy, lookahead)
+        if declared is None:
+            t += 1
+            continue
+        changes.append(declared)
+        if first_only:
+            break
+        # Resume scanning after the confirmed persistence window.
+        t = declared.index + 1
+    return changes
+
+
+def _confirm_candidate(x: np.ndarray, scores: np.ndarray, candidate: int,
+                       policy: ChangeDeclarationPolicy,
+                       lookahead: int = 0) -> Optional[DetectedChange]:
+    """Run the persistence check for a candidate armed at ``candidate``.
+
+    Confirms when the median of ``x[candidate : candidate+persistence]``
+    sits more than the deviation band away from the pre-candidate
+    baseline median.  The change is declared at the wall-clock bin by
+    which all consumed samples exist: the later of the persistence
+    window's end and the scoring lookahead horizon — so FUNNEL's
+    detection delay has the persistence threshold as its floor
+    (paper section 4.4).
+    """
+    end = candidate + policy.persistence
+    if end > x.size:
+        return None
+    baseline = max(1, candidate)
+    med, scale = median_and_mad(x[:baseline])
+    band = policy.deviation_sigmas * (MAD_TO_SIGMA * scale + 1e-9)
+
+    window_median = float(np.median(x[candidate:end]))
+    deviation = window_median - med
+    if abs(deviation) <= band:
+        return None
+    detected_at = candidate + max(policy.persistence - 1, lookahead)
+    if detected_at >= x.size:
+        return None
+    start = estimate_change_start(
+        x, min(end - 1, detected_at), baseline=candidate,
+        threshold_sigmas=policy.deviation_sigmas,
+    )
+    kind = classify_change(x, start, detected_at)
+    return DetectedChange(
+        index=detected_at,
+        start_index=start,
+        score=float(scores[candidate:detected_at + 1].max()),
+        kind=kind,
+        direction=1 if deviation > 0 else -1,
+    )

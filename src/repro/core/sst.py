@@ -1,0 +1,161 @@
+"""Classic Singular Spectrum Transform (paper section 3.2.1).
+
+SST scores each point ``t`` of a time series by the discordance between
+
+* the ``eta``-dimensional dominant subspace ``U_eta`` of the *past* Hankel
+  matrix ``B(t)`` (Eq. 1-2), and
+* the direction ``beta(t)`` of maximum change in the *future* Hankel matrix
+  ``A(t)`` (Eq. 3-5),
+
+via ``x_s(t) = 1 - ||U_eta^T beta||`` (Eq. 6-7): when the dynamics do not
+change, the dominant future direction lies (almost) inside the past
+subspace and the score is near zero; a behaviour change rotates the future
+direction out of the subspace and the score approaches one.
+
+This module is the exact SVD reference implementation.  The production
+fast path lives in :mod:`repro.core.ika`; the robustness improvements in
+:mod:`repro.core.rsst`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import InsufficientDataError, ParameterError
+from ..types import as_float_array
+from .hankel import future_matrix, past_matrix
+
+__all__ = ["SSTParams", "SingularSpectrumTransform", "sst_scores"]
+
+
+@dataclass(frozen=True)
+class SSTParams:
+    """The five SST parameters of paper section 3.2.1.
+
+    Attributes:
+        omega: lag-window length ``w`` (rows of the Hankel matrices).
+        delta: number of past windows (columns of ``B``).
+        gamma: number of future windows (columns of ``A``); the paper's
+            robustness recipe fixes ``gamma = delta``.
+        rho: start offset of the future windows; the paper fixes ``rho = 0``.
+        eta: dimension of the past subspace; the paper fixes ``eta = 3``
+            (suitable "even when omega is on the order of 100").
+    """
+
+    omega: int = 9
+    delta: int = 9
+    gamma: int = 9
+    rho: int = 0
+    eta: int = 3
+
+    def __post_init__(self) -> None:
+        if self.omega < 2:
+            raise ParameterError("omega must be >= 2, got %d" % self.omega)
+        if self.delta < 1 or self.gamma < 1:
+            raise ParameterError("delta and gamma must be >= 1")
+        if self.rho < 0:
+            raise ParameterError("rho must be >= 0, got %d" % self.rho)
+        if not 1 <= self.eta <= self.omega:
+            raise ParameterError(
+                "eta must be in [1, omega]=[1, %d], got %d"
+                % (self.omega, self.eta)
+            )
+
+    @classmethod
+    def paper_defaults(cls, omega: int = 9) -> "SSTParams":
+        """Parameters per section 3.2.2: rho=0, gamma=delta=omega, eta=3."""
+        return cls(omega=omega, delta=omega, gamma=omega, rho=0,
+                   eta=min(3, omega))
+
+    @property
+    def lead(self) -> int:
+        """Samples required before the evaluated point."""
+        return self.omega + self.delta - 1
+
+    @property
+    def lookahead(self) -> int:
+        """Samples required at and after the evaluated point."""
+        return self.rho + self.omega + self.gamma - 1
+
+    @property
+    def window_length(self) -> int:
+        """Total sliding-window length ``W = lead + lookahead``.
+
+        With the paper's evaluation setting ``omega = 9`` this is
+        ``W = 34``, matching ``W_FUNNEL = 34`` in section 4.1.
+        """
+        return self.lead + self.lookahead
+
+    def first_index(self) -> int:
+        """Smallest series index at which a score can be computed."""
+        return self.lead
+
+    def last_index(self, n: int) -> int:
+        """One past the largest scoreable index for a length-``n`` series."""
+        return n - self.lookahead + 1
+
+
+class SingularSpectrumTransform:
+    """Exact-SVD SST change-score computer.
+
+    Example:
+        >>> import numpy as np
+        >>> x = np.r_[np.zeros(60), np.ones(60)]
+        >>> sst = SingularSpectrumTransform(SSTParams.paper_defaults())
+        >>> scores = sst.scores(x)
+        >>> bool(scores[43:70].max() > 0.5)   # elevated around the step
+        True
+    """
+
+    def __init__(self, params: SSTParams = None) -> None:
+        self.params = params or SSTParams.paper_defaults()
+
+    def past_subspace(self, series: Sequence[float], t: int) -> np.ndarray:
+        """``U_eta(t)``: top ``eta`` left singular vectors of ``B(t)``."""
+        p = self.params
+        b = past_matrix(series, t, p.omega, p.delta)
+        u, _, _ = np.linalg.svd(b, full_matrices=False)
+        return u[:, :p.eta]
+
+    def future_direction(self, series: Sequence[float], t: int) -> np.ndarray:
+        """``beta(t)``: dominant left singular vector of ``A(t)`` (Eq. 4-5)."""
+        p = self.params
+        a = future_matrix(series, t, p.omega, p.gamma, lag=p.rho)
+        u, _, _ = np.linalg.svd(a, full_matrices=False)
+        return u[:, 0]
+
+    def score_at(self, series: Sequence[float], t: int) -> float:
+        """The SST change score ``x_s(t)`` of Eq. 7 at a single index."""
+        u_eta = self.past_subspace(series, t)
+        beta = self.future_direction(series, t)
+        proj = u_eta.T @ beta
+        # Eq. 6-7 reduce to 1 - ||U_eta^T beta|| since U_eta has orthonormal
+        # columns; clip tiny negative round-off.
+        return float(max(0.0, 1.0 - np.linalg.norm(proj)))
+
+    def scores(self, series: Sequence[float]) -> np.ndarray:
+        """Change scores for every scoreable index of ``series``.
+
+        The result has the same length as ``series``; indices whose
+        past/future embedding does not fit hold ``0.0``.
+        """
+        x = as_float_array(series)
+        p = self.params
+        lo, hi = p.first_index(), p.last_index(x.size)
+        if hi <= lo:
+            raise InsufficientDataError(
+                "series of length %d is shorter than the SST window %d"
+                % (x.size, p.window_length)
+            )
+        out = np.zeros(x.size, dtype=np.float64)
+        for t in range(lo, hi):
+            out[t] = self.score_at(x, t)
+        return out
+
+
+def sst_scores(series: Sequence[float], omega: int = 9) -> np.ndarray:
+    """Convenience wrapper: classic SST scores with paper defaults."""
+    return SingularSpectrumTransform(SSTParams.paper_defaults(omega)).scores(series)

@@ -1,0 +1,239 @@
+"""Online (streaming) FUNNEL assessment.
+
+The offline entry points (:meth:`repro.core.funnel.Funnel.assess`) take a
+complete series.  In deployment FUNNEL is fed one 1-minute bin at a time
+by the metric store's subscription push (paper section 2.2: "Within one
+second, the measurements subscribed by FUNNEL are pushed to FUNNEL"), and
+must raise its verdict the moment enough samples exist — this module is
+that mode.
+
+:class:`StreamingDetector` keeps a bounded ring of recent samples per
+KPI, re-scores only the suffix a new sample can affect, and applies the
+same declaration policy as the offline path, so its declarations are
+*identical* to the offline detector's (an invariant the test suite pins):
+the batched scorer is a pure function of the window, and a declaration at
+index ``i`` consumes samples through ``i`` only.
+
+:class:`StreamingAssessor` stacks the DiD attribution on top: it consumes
+treated and control samples in lock-step and emits an
+:class:`~repro.types.Assessment` when a declaration fires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import InsufficientDataError, ParameterError
+from ..types import Assessment, DetectedChange, Verdict
+from .did import DiDEstimator, DiDPanel
+from .funnel import FunnelConfig
+from .ika import IkaSST
+from .scoring import declare_changes, robust_normalise
+
+__all__ = ["StreamingDetector", "StreamingAssessor"]
+
+
+class StreamingDetector:
+    """Incremental change detection over one KPI stream.
+
+    Example:
+        >>> import numpy as np
+        >>> rng = np.random.default_rng(0)
+        >>> detector = StreamingDetector(change_index=100)
+        >>> x = 50 + rng.normal(0, 0.5, 300)
+        >>> x[100:] += 5.0
+        >>> hits = [i for i, v in enumerate(x) if detector.push(v)]
+        >>> 100 < hits[0] < 140
+        True
+    """
+
+    def __init__(self, change_index: int, config: FunnelConfig = None,
+                 max_history: int = 4096) -> None:
+        """Args:
+            change_index: stream position of the software change; only
+                behaviour changes starting at/after it are declared.
+            config: FUNNEL parameters (omega, policy...).
+            max_history: sample cap; older samples are discarded but the
+                indices reported stay absolute stream positions.
+        """
+        if change_index < 0:
+            raise ParameterError("change_index must be >= 0")
+        self.config = config or FunnelConfig()
+        self.scorer = IkaSST(self.config.sst)
+        self.change_index = change_index
+        if max_history < self.config.sst.window_length * 2:
+            raise ParameterError(
+                "max_history must cover at least two windows (%d)"
+                % (self.config.sst.window_length * 2)
+            )
+        self.max_history = max_history
+        self._values: List[float] = []
+        self._offset = 0          # absolute index of _values[0]
+        self._declared: List[DetectedChange] = []
+
+    # -- stream state -----------------------------------------------------------
+
+    @property
+    def position(self) -> int:
+        """Absolute index of the next sample to be pushed."""
+        return self._offset + len(self._values)
+
+    @property
+    def declared(self) -> List[DetectedChange]:
+        """All declarations so far (absolute indices)."""
+        return list(self._declared)
+
+    def push(self, value: float) -> Optional[DetectedChange]:
+        """Feed one sample; returns a change iff one is declared *now*.
+
+        A declaration is returned exactly once, at the first push that
+        makes it confirmable (its wall-clock declaration index).
+        """
+        value = float(value)
+        if not np.isfinite(value):
+            raise ParameterError("stream values must be finite")
+        self._values.append(value)
+        if len(self._values) > self.max_history:
+            drop = len(self._values) - self.max_history
+            del self._values[:drop]
+            self._offset += drop
+        return self._evaluate()
+
+    def extend(self, values: Sequence[float]) -> List[DetectedChange]:
+        """Push many samples; returns every change declared on the way."""
+        out = []
+        for value in values:
+            hit = self.push(value)
+            if hit is not None:
+                out.append(hit)
+        return out
+
+    # -- internals ------------------------------------------------------------
+
+    def _evaluate(self) -> Optional[DetectedChange]:
+        n = len(self._values)
+        if n < self.config.sst.window_length:
+            return None
+        local_change = self.change_index - self._offset
+        baseline = max(1, min(local_change, n)) if local_change > 0 else 1
+        x = np.asarray(self._values)
+        normalised = robust_normalise(x, baseline=baseline)
+        scores = self.scorer.scores(normalised)
+        declared = declare_changes(
+            normalised, scores, self.config.policy,
+            lookahead=self.config.sst.lookahead - 1,
+        )
+        last_seen = (self._declared[-1].index if self._declared
+                     else self.change_index - 1)
+        for change in declared:
+            absolute = DetectedChange(
+                index=change.index + self._offset,
+                start_index=change.start_index + self._offset,
+                score=change.score,
+                kind=change.kind,
+                direction=change.direction,
+            )
+            if absolute.start_index < self.change_index - 1:
+                continue
+            if absolute.index <= last_seen:
+                continue
+            # Only report when the declaration lands on *this* push —
+            # i.e. the current sample completed its evidence.
+            if absolute.index == self.position - 1:
+                self._declared.append(absolute)
+                return absolute
+        return None
+
+
+@dataclass
+class StreamingAssessor:
+    """Online detection + DiD attribution over treated/control streams.
+
+    Feed one bin per unit per tick with :meth:`push`; when the treated
+    aggregate declares a change, the assessor immediately runs the DiD
+    comparison over the data received so far and emits the assessment.
+    """
+
+    change_index: int
+    config: FunnelConfig = field(default_factory=FunnelConfig)
+
+    def __post_init__(self) -> None:
+        self._detector = StreamingDetector(self.change_index, self.config)
+        self._treated: List[np.ndarray] = []
+        self._control: List[np.ndarray] = []
+        self._estimator = DiDEstimator()
+        self.assessment: Optional[Assessment] = None
+
+    @property
+    def position(self) -> int:
+        return self._detector.position
+
+    def push(self, treated: Sequence[float],
+             control: Sequence[float] = ()) -> Optional[Assessment]:
+        """Feed one tick of per-unit samples.
+
+        Args:
+            treated: current bin's value for each treated unit.
+            control: current bin's value for each control unit (may be
+                empty under Full Launching — attribution then reports
+                the change without exclusion, as offline does).
+
+        Returns:
+            The assessment, on the tick its detection is declared.
+        """
+        treated = np.asarray(treated, dtype=np.float64).ravel()
+        control = np.asarray(control, dtype=np.float64).ravel()
+        if treated.size == 0:
+            raise ParameterError("each tick needs at least 1 treated value")
+        if self._treated and treated.size != self._treated[0].size:
+            raise ParameterError("treated unit count changed mid-stream")
+        if self._control and control.size != self._control[0].size:
+            raise ParameterError("control unit count changed mid-stream")
+        self._treated.append(treated)
+        self._control.append(control)
+
+        change = self._detector.push(float(treated.mean()))
+        if change is None or self.assessment is not None:
+            return None
+        self.assessment = self._attribute(change)
+        return self.assessment
+
+    def _attribute(self, change: DetectedChange) -> Assessment:
+        treated = np.asarray(self._treated).T        # (units, bins)
+        control = np.asarray(self._control).T
+        if control.size == 0:
+            return Assessment(
+                verdict=Verdict.CAUSED_BY_CHANGE, change=change,
+                notes=("no control group available; other factors were "
+                       "not excluded",),
+            )
+        w = self.config.effective_did_window
+        pre_lo = max(0, self.change_index - w)
+        post_hi = min(treated.shape[1], change.index + 1)
+        post_lo = max(self.change_index, post_hi - w)
+        if post_lo >= post_hi or pre_lo >= self.change_index:
+            raise InsufficientDataError(
+                "declaration at %d leaves no DiD windows" % change.index
+            )
+        panel = DiDPanel(
+            treated_pre=treated[:, pre_lo:self.change_index],
+            treated_post=treated[:, post_lo:post_hi],
+            control_pre=control[:, pre_lo:self.change_index],
+            control_post=control[:, post_lo:post_hi],
+        )
+        result = self._estimator.fit(panel)
+        caused = result.significant(self.config.did_threshold,
+                                    self.config.did_p_value)
+        if caused and change.direction and result.normalised_alpha:
+            caused = ((change.direction > 0)
+                      == (result.normalised_alpha > 0))
+        return Assessment(
+            verdict=(Verdict.CAUSED_BY_CHANGE if caused
+                     else Verdict.OTHER_REASONS),
+            change=change,
+            did_estimate=result.normalised_alpha,
+            control="peers",
+        )

@@ -1,0 +1,214 @@
+"""The experiment runner: methods x corpus -> Table 1 / Fig. 5 data.
+
+Adapters give every method the same contract — assess one
+:class:`~repro.synthetic.dataset.EvaluationItem` and return whether a
+software-change-induced KPI change was found plus the detection index —
+while preserving what each method is *allowed to see*:
+
+* **funnel** — treated + control/history, full Fig. 3 flow;
+* **improved_sst** — the same detector, no DiD (any post-change
+  detection counts as "caused by the change");
+* **cusum** / **mrls** — the baselines on the treated aggregate, no DiD
+  (the paper's comparison setting).
+
+The Table 1 synthesis then follows section 4.2.1: per (method, KPI type)
+the clean half's confusion counts are scaled by 86 (= 6194/72) and added
+to the inducing half's counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..baselines.cusum import CusumDetector, CusumParams
+from ..baselines.mrls import MrlsDetector, MrlsParams
+from ..core.funnel import Funnel, FunnelConfig
+from ..exceptions import EvaluationError
+from ..synthetic.dataset import EvaluationItem
+from ..types import KpiCharacter
+from .confusion import ConfusionMatrix
+from .delay import DelayDistribution
+
+__all__ = ["ItemOutcome", "MethodAdapter", "make_method",
+           "EvaluationResult", "evaluate_corpus", "CLEAN_SCALE_FACTOR",
+           "METHOD_NAMES"]
+
+#: The paper's synthesis factor for the clean half (6194 / 72 ~= 86).
+CLEAN_SCALE_FACTOR = 86.0
+
+METHOD_NAMES = ("funnel", "improved_sst", "cusum", "mrls")
+
+
+@dataclass(frozen=True)
+class ItemOutcome:
+    """One method's answer for one item."""
+
+    positive: bool
+    detection_index: Optional[int] = None
+
+    def delay(self, truth_start: int) -> Optional[int]:
+        if self.detection_index is None:
+            return None
+        return max(0, self.detection_index - truth_start)
+
+
+MethodAdapter = Callable[[EvaluationItem], ItemOutcome]
+
+
+def _funnel_adapter(config: FunnelConfig = None) -> MethodAdapter:
+    funnel = Funnel(config)
+
+    def assess(item: EvaluationItem) -> ItemOutcome:
+        result = funnel.assess(
+            item.treated, item.change_index,
+            control=item.control, history=item.history,
+        )
+        index = result.change.index if result.change else None
+        return ItemOutcome(positive=result.positive, detection_index=index)
+
+    return assess
+
+
+def _improved_sst_adapter(config: FunnelConfig = None) -> MethodAdapter:
+    funnel = Funnel(config)
+
+    def assess(item: EvaluationItem) -> ItemOutcome:
+        changes = funnel.detect(item.treated_aggregate, item.change_index)
+        if not changes:
+            return ItemOutcome(positive=False)
+        return ItemOutcome(positive=True, detection_index=changes[0].index)
+
+    return assess
+
+
+def _baseline_adapter(detector) -> MethodAdapter:
+    def assess(item: EvaluationItem) -> ItemOutcome:
+        changes = detector.detect(item.treated_aggregate, first_only=False)
+        relevant = [c for c in changes
+                    if c.start_index >= item.change_index - 1]
+        if not relevant:
+            return ItemOutcome(positive=False)
+        return ItemOutcome(positive=True,
+                           detection_index=relevant[0].index)
+
+    return assess
+
+
+def make_method(name: str, funnel_config: FunnelConfig = None,
+                cusum_params: CusumParams = None,
+                mrls_params: MrlsParams = None) -> MethodAdapter:
+    """Build the adapter for one of :data:`METHOD_NAMES`."""
+    if name == "funnel":
+        return _funnel_adapter(funnel_config)
+    if name == "improved_sst":
+        return _improved_sst_adapter(funnel_config)
+    if name == "cusum":
+        return _baseline_adapter(CusumDetector(cusum_params))
+    if name == "mrls":
+        return _baseline_adapter(MrlsDetector(mrls_params))
+    raise EvaluationError("unknown method %r" % name)
+
+
+@dataclass
+class EvaluationResult:
+    """All confusion matrices and delay distributions from one run."""
+
+    #: (method, character, half) -> raw confusion counts.
+    strata: Dict[Tuple[str, str, str], ConfusionMatrix] = field(
+        default_factory=dict)
+    #: method -> detection delays over true positives.
+    delays: Dict[str, DelayDistribution] = field(default_factory=dict)
+    items_evaluated: int = 0
+
+    def _stratum(self, method: str, character: str,
+                 half: str) -> ConfusionMatrix:
+        key = (method, character, half)
+        if key not in self.strata:
+            self.strata[key] = ConfusionMatrix()
+        return self.strata[key]
+
+    def record(self, method: str, item: EvaluationItem,
+               outcome: ItemOutcome) -> None:
+        matrix = self._stratum(method, item.character.value, item.half)
+        matrix.record(outcome.positive, item.truth.positive)
+        if outcome.positive and item.truth.positive:
+            delay = outcome.delay(item.truth.start_index)
+            if delay is not None:
+                self.delays.setdefault(
+                    method, DelayDistribution(method)).record(delay)
+
+    # -- synthesis -----------------------------------------------------------
+
+    def synthesized(self, method: str, character: str,
+                    clean_factor: float = CLEAN_SCALE_FACTOR
+                    ) -> ConfusionMatrix:
+        """Table 1 cell: inducing counts + ``clean_factor`` x clean counts."""
+        inducing = self.strata.get((method, character, "inducing"),
+                                   ConfusionMatrix())
+        clean = self.strata.get((method, character, "clean"),
+                                ConfusionMatrix())
+        return inducing + clean.scaled(clean_factor)
+
+    def table1(self, methods: Iterable[str] = METHOD_NAMES,
+               clean_factor: float = CLEAN_SCALE_FACTOR) -> List[dict]:
+        """All Table 1 rows: one per (method, KPI type)."""
+        rows = []
+        for method in methods:
+            for character in (KpiCharacter.SEASONAL,
+                              KpiCharacter.STATIONARY,
+                              KpiCharacter.VARIABLE):
+                matrix = self.synthesized(method, character.value,
+                                          clean_factor)
+                row = {"method": method, "type": character.value}
+                row.update(matrix.as_row())
+                rows.append(row)
+        return rows
+
+    def overall(self, method: str,
+                clean_factor: float = CLEAN_SCALE_FACTOR) -> ConfusionMatrix:
+        total = ConfusionMatrix()
+        for character in KpiCharacter:
+            total = total + self.synthesized(method, character.value,
+                                             clean_factor)
+        return total
+
+
+def evaluate_corpus(items: Iterable[EvaluationItem],
+                    methods: Dict[str, MethodAdapter],
+                    mrls_stride: int = 1,
+                    progress: Callable[[int], None] = None
+                    ) -> EvaluationResult:
+    """Run every method over every item.
+
+    Args:
+        items: the evaluation corpus (streamed).
+        methods: name -> adapter; build with :func:`make_method`.
+        mrls_stride: evaluate ``mrls`` only on every n-th item (its
+            iterated-SVD cost makes the full corpus impractical; the
+            sampled counts are scaled back up by ``mrls_stride`` so the
+            synthesized rates stay unbiased).  1 = no sampling.
+        progress: optional callback invoked with the item counter.
+    """
+    if mrls_stride < 1:
+        raise EvaluationError("mrls_stride must be >= 1")
+    result = EvaluationResult()
+    mrls_strata: Dict[Tuple[str, str, str], ConfusionMatrix] = {}
+
+    for counter, item in enumerate(items):
+        result.items_evaluated += 1
+        for name, adapter in methods.items():
+            if name == "mrls" and counter % mrls_stride:
+                continue
+            outcome = adapter(item)
+            result.record(name, item, outcome)
+        if progress is not None:
+            progress(counter)
+
+    if "mrls" in methods and mrls_stride > 1:
+        for key in list(result.strata):
+            if key[0] == "mrls":
+                result.strata[key] = result.strata[key].scaled(mrls_stride)
+    return result

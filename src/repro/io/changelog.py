@@ -1,0 +1,110 @@
+"""JSON-lines interchange for software-change logs.
+
+Change deployment logs are the source of truth FUNNEL reads impact sets
+from (paper section 3.1).  One JSON object per line::
+
+    {"change_id": "chg-000123", "kind": "config_change",
+     "service": "search.backend", "hostnames": ["b-1", "b-2"],
+     "at_time": 86460, "description": "...",
+     "config_scope": "service"}
+
+``kind`` is a :class:`~repro.types.ChangeKind` value; ``config_scope``
+is optional and only valid for configuration changes.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import List, TextIO, Union
+
+from ..changes.change import SoftwareChange
+from ..changes.log import ChangeLog
+from ..exceptions import ChangeLogError
+from ..types import ChangeKind
+
+__all__ = ["read_change_log", "write_change_log", "change_to_dict",
+           "change_from_dict"]
+
+PathOrFile = Union[str, pathlib.Path, TextIO]
+
+_REQUIRED = ("change_id", "kind", "service", "hostnames", "at_time")
+
+
+def change_to_dict(change: SoftwareChange) -> dict:
+    """The JSON-safe representation of one change record."""
+    out = {
+        "change_id": change.change_id,
+        "kind": change.kind.value,
+        "service": change.service,
+        "hostnames": list(change.hostnames),
+        "at_time": change.at_time,
+    }
+    if change.description:
+        out["description"] = change.description
+    if change.config_scope is not None:
+        out["config_scope"] = change.config_scope
+    return out
+
+
+def change_from_dict(payload: dict) -> SoftwareChange:
+    """Parse one change record; raises ChangeLogError on bad input."""
+    missing = [k for k in _REQUIRED if k not in payload]
+    if missing:
+        raise ChangeLogError("change record missing fields: %s" % missing)
+    try:
+        kind = ChangeKind(payload["kind"])
+    except ValueError:
+        raise ChangeLogError(
+            "unknown change kind %r" % (payload["kind"],)) from None
+    return SoftwareChange(
+        change_id=str(payload["change_id"]),
+        kind=kind,
+        service=str(payload["service"]),
+        hostnames=tuple(payload["hostnames"]),
+        at_time=int(payload["at_time"]),
+        description=str(payload.get("description", "")),
+        config_scope=payload.get("config_scope"),
+    )
+
+
+def _open_for(source: PathOrFile, mode: str):
+    if isinstance(source, (str, pathlib.Path)):
+        return open(source, mode), True
+    return source, False
+
+
+def read_change_log(source: PathOrFile,
+                    concurrency_guard_seconds: int = 3600) -> ChangeLog:
+    """Load a JSONL change log, enforcing the log's invariants."""
+    log = ChangeLog(concurrency_guard_seconds=concurrency_guard_seconds)
+    handle, owned = _open_for(source, "r")
+    try:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ChangeLogError(
+                    "line %d: invalid JSON (%s)" % (line_no, exc)
+                ) from None
+            log.record(change_from_dict(payload))
+    finally:
+        if owned:
+            handle.close()
+    return log
+
+
+def write_change_log(log: ChangeLog, target: PathOrFile) -> None:
+    """Write a ChangeLog as JSONL, time-ordered."""
+    handle, owned = _open_for(target, "w")
+    try:
+        for change in log:
+            handle.write(json.dumps(change_to_dict(change),
+                                    sort_keys=True))
+            handle.write("\n")
+    finally:
+        if owned:
+            handle.close()

@@ -1,0 +1,21 @@
+"""Synthetic KPI traces, injected changes, and the evaluation corpus."""
+
+from .contamination import ContaminationConfig, contaminate_baseline
+from .dataset import CorpusSpec, EvaluationCorpus, EvaluationItem, ItemTruth
+from .fleetgen import (ChangeWorkloadSpec, FleetSpec,
+                       generate_change_workload, generate_fleet)
+from .effects import (LevelShift, NoiseBurst, Ramp, Spike, TransientDip,
+                      apply_effects)
+from .patterns import (SeasonalPattern, StationaryPattern, VariablePattern,
+                       pattern_for_character)
+from .workload import GroupTraceConfig, GroupTraces, generate_group
+
+__all__ = ["ContaminationConfig", "contaminate_baseline",
+           "CorpusSpec", "EvaluationCorpus", "EvaluationItem", "ItemTruth",
+           "LevelShift", "NoiseBurst", "Ramp", "Spike", "TransientDip",
+           "apply_effects",
+           "SeasonalPattern", "StationaryPattern", "VariablePattern",
+           "pattern_for_character",
+           "GroupTraceConfig", "GroupTraces", "generate_group",
+           "ChangeWorkloadSpec", "FleetSpec", "generate_change_workload",
+           "generate_fleet"]

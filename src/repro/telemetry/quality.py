@@ -1,0 +1,149 @@
+"""KPI quality screening.
+
+Paper section 2.2: "In large services, there might exist some KPIs of
+dubious quality ... FUNNEL detects all KPI changes in the impact set
+regardless of the quality of the KPI, and delivers the results to the
+operations team", who then judge low-quality KPIs themselves.  This
+module automates the judging aid: it does *not* filter anything out of
+the pipeline (matching the paper's position), it annotates each series
+with the defects an operator would check for:
+
+* **missing data** — runs of non-finite samples;
+* **flatlines** — long constant runs (a stuck collector);
+* **quantisation** — too few distinct values for the series length;
+* **staleness** — the trailing samples are all identical (agent died).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ParameterError
+
+__all__ = ["QualityIssue", "QualityReport", "assess_quality"]
+
+
+@dataclass(frozen=True)
+class QualityIssue:
+    """One detected quality defect.
+
+    Attributes:
+        kind: ``"missing"``, ``"flatline"``, ``"quantised"`` or
+            ``"stale"``.
+        start / end: sample range the issue covers (``end`` exclusive);
+            for whole-series issues the full range.
+        detail: human-readable specifics.
+    """
+
+    kind: str
+    start: int
+    end: int
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """All issues found in one series plus a summary verdict."""
+
+    n_samples: int
+    issues: Tuple[QualityIssue, ...] = field(default=())
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    @property
+    def kinds(self) -> Tuple[str, ...]:
+        return tuple(sorted({issue.kind for issue in self.issues}))
+
+    def coverage(self) -> float:
+        """Fraction of samples untouched by any issue."""
+        if self.n_samples == 0:
+            return 0.0
+        flagged = np.zeros(self.n_samples, dtype=bool)
+        for issue in self.issues:
+            flagged[issue.start:issue.end] = True
+        return float(1.0 - flagged.mean())
+
+
+def _runs_of(mask: np.ndarray) -> List[Tuple[int, int]]:
+    """[start, end) spans of consecutive True values."""
+    out: List[Tuple[int, int]] = []
+    start = None
+    for i, value in enumerate(mask):
+        if value and start is None:
+            start = i
+        elif not value and start is not None:
+            out.append((start, i))
+            start = None
+    if start is not None:
+        out.append((start, mask.size))
+    return out
+
+
+def assess_quality(values: Sequence[float], min_flatline: int = 30,
+                   min_missing: int = 3, min_distinct_ratio: float = 0.01,
+                   stale_tail: int = 15) -> QualityReport:
+    """Annotate one KPI series with quality issues.
+
+    Args:
+        values: the samples (non-finite entries mark missing data — this
+            is the one entry point in the library that accepts them).
+        min_flatline: constant-run length that counts as a flatline.
+        min_missing: missing-run length worth reporting.
+        min_distinct_ratio: below ``distinct/length`` the series is
+            flagged as quantised (subject to a floor of 5 distinct
+            values, so short series are not misflagged).
+        stale_tail: trailing constant-run length flagged as staleness.
+    """
+    x = np.asarray(values, dtype=np.float64).ravel()
+    if x.size == 0:
+        raise ParameterError("cannot assess an empty series")
+    issues: List[QualityIssue] = []
+
+    missing = ~np.isfinite(x)
+    for start, end in _runs_of(missing):
+        if end - start >= min_missing:
+            issues.append(QualityIssue(
+                kind="missing", start=start, end=end,
+                detail="%d consecutive missing samples" % (end - start),
+            ))
+
+    finite = np.where(np.isfinite(x), x, np.nan)
+    same_as_prev = np.zeros(x.size, dtype=bool)
+    same_as_prev[1:] = finite[1:] == finite[:-1]
+    for start, end in _runs_of(same_as_prev):
+        run_start = start - 1          # include the first equal sample
+        if end - run_start >= min_flatline:
+            issues.append(QualityIssue(
+                kind="flatline", start=run_start, end=end,
+                detail="constant at %r for %d samples"
+                       % (float(finite[start]), end - run_start),
+            ))
+
+    finite_only = x[np.isfinite(x)]
+    if finite_only.size:
+        distinct = np.unique(finite_only).size
+        if (distinct < max(5, int(min_distinct_ratio * finite_only.size))
+                and distinct < finite_only.size):
+            issues.append(QualityIssue(
+                kind="quantised", start=0, end=x.size,
+                detail="%d distinct values over %d samples"
+                       % (distinct, finite_only.size),
+            ))
+
+    if x.size >= stale_tail:
+        tail = finite[-stale_tail:]
+        if np.all(tail == tail[0]):
+            already = any(i.kind == "flatline" and i.end == x.size
+                          for i in issues)
+            if not already:
+                issues.append(QualityIssue(
+                    kind="stale", start=x.size - stale_tail, end=x.size,
+                    detail="trailing %d samples identical" % stale_tail,
+                ))
+
+    return QualityReport(n_samples=int(x.size), issues=tuple(issues))

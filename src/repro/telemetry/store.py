@@ -1,0 +1,151 @@
+"""The centralised metric store and its subscription tool.
+
+Paper section 2.2: agents deliver KPI measurements to "a centralized
+Hadoop-based database, which also stores the service KPIs aggregated
+based on the KPIs of the instances.  The database also provides a
+subscription tool for other systems, such as FUNNEL, to periodically
+receive the subscribed measurements."
+
+:class:`MetricStore` is the in-memory stand-in: it keys
+:class:`~repro.telemetry.timeseries.TimeSeries` fragments by
+:class:`~repro.telemetry.kpi.KpiKey`, merges appends, serves range
+queries, and pushes appended data to subscribers (FUNNEL's online
+pipeline registers one subscription per impact set).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+import numpy as np
+
+from ..exceptions import TelemetryError
+from .kpi import KpiKey
+from .timeseries import MINUTE, TimeSeries
+
+__all__ = ["MetricStore", "Subscription"]
+
+Callback = Callable[[KpiKey, TimeSeries], None]
+
+
+@dataclass
+class Subscription:
+    """A standing request for pushes of appended measurements."""
+
+    keys: frozenset
+    callback: Callback
+    active: bool = True
+
+    def cancel(self) -> None:
+        self.active = False
+
+
+class MetricStore:
+    """In-memory, append-only KPI database with push subscriptions.
+
+    Example:
+        >>> store = MetricStore()
+        >>> key = KpiKey("server", "web-1", "memory_utilization")
+        >>> store.append(key, TimeSeries(0, 60, [10.0, 11.0]))
+        >>> store.append(key, TimeSeries(120, 60, [12.0]))
+        >>> store.series(key).values.tolist()
+        [10.0, 11.0, 12.0]
+    """
+
+    def __init__(self, bin_seconds: int = MINUTE) -> None:
+        self.bin_seconds = bin_seconds
+        self._series: Dict[KpiKey, TimeSeries] = {}
+        self._subscriptions: List[Subscription] = []
+
+    # -- writes ---------------------------------------------------------------
+
+    def append(self, key: KpiKey, fragment: TimeSeries) -> None:
+        """Append ``fragment`` to the series stored under ``key``.
+
+        The fragment must use the store's bin width and continue the
+        stored series exactly (same start for a new key, ``end`` of the
+        stored data otherwise) — agents emit contiguous measurements.
+        """
+        if fragment.bin_seconds != self.bin_seconds:
+            raise TelemetryError(
+                "fragment bin width %d != store bin width %d"
+                % (fragment.bin_seconds, self.bin_seconds)
+            )
+        existing = self._series.get(key)
+        if existing is None:
+            self._series[key] = fragment
+        else:
+            if fragment.start != existing.end:
+                raise TelemetryError(
+                    "fragment for %s starts at %d, expected %d"
+                    % (key, fragment.start, existing.end)
+                )
+            self._series[key] = TimeSeries(
+                start=existing.start,
+                bin_seconds=self.bin_seconds,
+                values=np.concatenate([existing.values, fragment.values]),
+            )
+        self._push(key, fragment)
+
+    def _push(self, key: KpiKey, fragment: TimeSeries) -> None:
+        for sub in self._subscriptions:
+            if sub.active and key in sub.keys:
+                sub.callback(key, fragment)
+
+    # -- reads ---------------------------------------------------------------
+
+    def __contains__(self, key: KpiKey) -> bool:
+        return key in self._series
+
+    def keys(self) -> List[KpiKey]:
+        return sorted(self._series, key=str)
+
+    def series(self, key: KpiKey) -> TimeSeries:
+        try:
+            return self._series[key]
+        except KeyError:
+            raise TelemetryError("no measurements stored for %s" % key) from None
+
+    def maybe_series(self, key: KpiKey) -> Optional[TimeSeries]:
+        return self._series.get(key)
+
+    def range(self, key: KpiKey, from_time: int, to_time: int) -> TimeSeries:
+        """Measurements of ``key`` over ``[from_time, to_time)``."""
+        return self.series(key).slice_time(from_time, to_time)
+
+    def window_matrix(self, keys: Iterable[KpiKey], from_time: int,
+                      to_time: int) -> np.ndarray:
+        """Stack aligned range queries into a ``(len(keys), bins)`` matrix.
+
+        This is the shape the DiD panels consume: one row per
+        server/instance, one column per time-bin.
+        """
+        rows = []
+        expected = (to_time - from_time) // self.bin_seconds
+        for key in keys:
+            fragment = self.range(key, from_time, to_time)
+            if len(fragment) != expected:
+                raise TelemetryError(
+                    "%s covers only %d of %d requested bins"
+                    % (key, len(fragment), expected)
+                )
+            rows.append(fragment.values)
+        if not rows:
+            raise TelemetryError("window_matrix needs at least one key")
+        return np.vstack(rows)
+
+    # -- subscriptions -----------------------------------------------------------
+
+    def subscribe(self, keys: Iterable[KpiKey],
+                  callback: Callback) -> Subscription:
+        """Register ``callback`` for every future append to ``keys``."""
+        sub = Subscription(keys=frozenset(keys), callback=callback)
+        if not sub.keys:
+            raise TelemetryError("subscription must name at least one KPI")
+        self._subscriptions.append(sub)
+        return sub
+
+    def subscription_count(self) -> int:
+        return sum(1 for s in self._subscriptions if s.active)

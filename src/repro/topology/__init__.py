@@ -1,0 +1,10 @@
+"""Service/server/instance topology and impact-set identification."""
+
+from .entities import Fleet, Instance, Server, Service
+from .graph import ServiceGraph
+from .impact import ImpactSet, identify_impact_set
+from .naming import derive_relationships, validate_service_name
+
+__all__ = ["Fleet", "Instance", "Server", "Service", "ServiceGraph",
+           "ImpactSet", "identify_impact_set", "derive_relationships",
+           "validate_service_name"]

@@ -1,0 +1,142 @@
+"""A small directed graph for service relationships.
+
+The service-relationship structure FUNNEL consumes (paper section 3.1,
+Fig. 4) is tiny — tens of services with request/response edges — so the
+library carries its own dependency-free digraph rather than pulling in a
+graph framework.  Edges are directed ("Service A sends requests and
+responses to Service B"), but impact propagates along relationships in
+either direction, so the traversals used for impact-set identification
+treat the graph as undirected unless asked otherwise.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+from ..exceptions import TopologyError
+
+__all__ = ["ServiceGraph"]
+
+
+class ServiceGraph:
+    """Directed graph over hashable node names with reachability queries."""
+
+    def __init__(self) -> None:
+        self._successors: Dict[str, Set[str]] = {}
+        self._predecessors: Dict[str, Set[str]] = {}
+
+    # -- construction --------------------------------------------------------
+
+    def add_node(self, node: str) -> None:
+        """Register ``node``; adding an existing node is a no-op."""
+        self._successors.setdefault(node, set())
+        self._predecessors.setdefault(node, set())
+
+    def add_edge(self, source: str, target: str) -> None:
+        """Add the relationship ``source -> target``.
+
+        Self-loops are rejected: a service is trivially related to itself
+        and a loop would only distort traversals.
+        """
+        if source == target:
+            raise TopologyError("self-relationship on %r" % source)
+        self.add_node(source)
+        self.add_node(target)
+        self._successors[source].add(target)
+        self._predecessors[target].add(source)
+
+    def remove_edge(self, source: str, target: str) -> None:
+        if not self.has_edge(source, target):
+            raise TopologyError("no edge %r -> %r" % (source, target))
+        self._successors[source].discard(target)
+        self._predecessors[target].discard(source)
+
+    # -- queries -------------------------------------------------------------
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._successors
+
+    def __len__(self) -> int:
+        return len(self._successors)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._successors)
+
+    @property
+    def nodes(self) -> List[str]:
+        return sorted(self._successors)
+
+    @property
+    def edges(self) -> List[Tuple[str, str]]:
+        return sorted(
+            (src, dst)
+            for src, targets in self._successors.items()
+            for dst in targets
+        )
+
+    def has_edge(self, source: str, target: str) -> bool:
+        return target in self._successors.get(source, ())
+
+    def successors(self, node: str) -> Set[str]:
+        self._require(node)
+        return set(self._successors[node])
+
+    def predecessors(self, node: str) -> Set[str]:
+        self._require(node)
+        return set(self._predecessors[node])
+
+    def neighbors(self, node: str) -> Set[str]:
+        """Nodes related to ``node`` in either direction."""
+        self._require(node)
+        return self._successors[node] | self._predecessors[node]
+
+    def degree(self, node: str) -> int:
+        return len(self.neighbors(node))
+
+    # -- traversals ------------------------------------------------------------
+
+    def reachable(self, start: str, directed: bool = False,
+                  max_hops: int = None) -> Set[str]:
+        """Every node reachable from ``start``, excluding ``start`` itself.
+
+        Args:
+            start: traversal origin.
+            directed: follow only outgoing edges if True; by default the
+                traversal is undirected, matching the paper's notion that
+                impact flows along relationships both ways (Fig. 4: a
+                change in A affects B, C and D; B and D are A's direct
+                relations, C is related to B).
+            max_hops: optional traversal radius.
+        """
+        self._require(start)
+        frontier = deque([(start, 0)])
+        seen = {start}
+        result: Set[str] = set()
+        while frontier:
+            node, hops = frontier.popleft()
+            if max_hops is not None and hops >= max_hops:
+                continue
+            step = (self._successors[node] if directed
+                    else self._successors[node] | self._predecessors[node])
+            for nxt in step:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    result.add(nxt)
+                    frontier.append((nxt, hops + 1))
+        return result
+
+    def connected_component(self, start: str) -> Set[str]:
+        """The undirected component containing ``start`` (inclusive)."""
+        return self.reachable(start, directed=False) | {start}
+
+    def _require(self, node: str) -> None:
+        if node not in self._successors:
+            raise TopologyError("unknown service %r" % node)
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[Tuple[str, str]]) -> "ServiceGraph":
+        graph = cls()
+        for source, target in edges:
+            graph.add_edge(source, target)
+        return graph

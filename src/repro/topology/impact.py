@@ -1,0 +1,112 @@
+"""Impact-set identification — paper section 3.1 and Fig. 4.
+
+For a software change deployed on a subset of a service's servers, the
+*impact set* — the entities whose KPIs FUNNEL must assess — consists of
+
+* the **tservers**: the servers named in the change log;
+* the **tinstances**: the changed service's instances on those servers;
+* the **changed service** itself; and
+* the **affected services**: every service reachable from the changed
+  service through the relationship graph (Fig. 4: for a change in A with
+  A-B, A-D and B-C relationships, the affected services are B, C and D).
+
+Instances of affected services are deliberately *not* included: load
+balancing makes it unlikely that one instance of an affected service is
+individually impacted, so the affected service's aggregate KPI suffices.
+
+The complementary control entities are identified at the same time:
+
+* the **cservers**: the same service's servers without the change;
+* the **cinstances**: the instances on those servers.
+
+Both are empty under Full Launching, which is what routes FUNNEL's
+decision flow (Fig. 3, step 7) to the historical/seasonal control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, List, Tuple
+
+from ..exceptions import TopologyError
+from .entities import Fleet, Instance, Server
+
+__all__ = ["ImpactSet", "identify_impact_set"]
+
+
+@dataclass(frozen=True)
+class ImpactSet:
+    """The entities to assess for one software change, plus its controls."""
+
+    changed_service: str
+    tservers: Tuple[Server, ...]
+    tinstances: Tuple[Instance, ...]
+    cservers: Tuple[Server, ...]
+    cinstances: Tuple[Instance, ...]
+    affected_services: FrozenSet[str] = field(default_factory=frozenset)
+
+    @property
+    def dark_launched(self) -> bool:
+        """True when a control group of peers exists (Dark Launching)."""
+        return bool(self.cservers)
+
+    @property
+    def treated_hostnames(self) -> Tuple[str, ...]:
+        return tuple(s.hostname for s in self.tservers)
+
+    @property
+    def control_hostnames(self) -> Tuple[str, ...]:
+        return tuple(s.hostname for s in self.cservers)
+
+    def monitored_entities(self) -> List[Tuple[str, str]]:
+        """Every ``(entity_type, entity_name)`` FUNNEL must watch.
+
+        Entity types are ``"server"``, ``"instance"`` and ``"service"``;
+        the changed service and each affected service appear as services.
+        """
+        out: List[Tuple[str, str]] = []
+        out.extend(("server", s.hostname) for s in self.tservers)
+        out.extend(("instance", i.name) for i in self.tinstances)
+        out.append(("service", self.changed_service))
+        out.extend(("service", name) for name in sorted(self.affected_services))
+        return out
+
+
+def identify_impact_set(fleet: Fleet, service_name: str,
+                        treated_hostnames: Iterable[str]) -> ImpactSet:
+    """Identify the impact set of a change on ``service_name``.
+
+    Args:
+        fleet: the fleet registry holding services and relationships.
+        service_name: the changed service.
+        treated_hostnames: the servers the change log says the change was
+            deployed on; must all be servers of ``service_name``.
+
+    Raises:
+        TopologyError: for an unknown service, an empty deployment, or a
+            hostname that does not belong to the changed service.
+    """
+    service = fleet.service(service_name)
+    treated = list(dict.fromkeys(treated_hostnames))
+    if not treated:
+        raise TopologyError(
+            "software change on %r deployed on no servers" % service_name
+        )
+    known = set(service.hostnames)
+    for host in treated:
+        if host not in known:
+            raise TopologyError(
+                "server %r does not run service %r" % (host, service_name)
+            )
+
+    control = [h for h in service.hostnames if h not in set(treated)]
+    affected = fleet.relationships.reachable(service_name, directed=False)
+
+    return ImpactSet(
+        changed_service=service_name,
+        tservers=tuple(Server(h, service_name) for h in treated),
+        tinstances=tuple(Instance(service_name, h) for h in treated),
+        cservers=tuple(Server(h, service_name) for h in control),
+        cinstances=tuple(Instance(service_name, h) for h in control),
+        affected_services=frozenset(affected),
+    )

@@ -1,0 +1,72 @@
+"""Shared contract tests for all detector ``scores()`` surfaces.
+
+Every detector exposes a per-index statistic normalised so that
+``scores[t] > 1`` means "the declaration threshold was crossed at t" —
+the calibration sweep and the ROC analysis both rely on this contract.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cusum import CusumDetector, CusumParams
+from repro.baselines.mrls import MrlsDetector, MrlsParams
+
+DETECTORS = [
+    ("cusum", lambda: CusumDetector(CusumParams(threshold=8.0))),
+    ("mrls", lambda: MrlsDetector(MrlsParams(threshold=4.0))),
+]
+
+
+@pytest.mark.parametrize("name,factory", DETECTORS)
+class TestScoresContract:
+    def test_same_length_as_input(self, name, factory, rng):
+        x = 10.0 + 0.4 * rng.normal(size=90)
+        scores = factory().scores(x)
+        assert scores.shape == x.shape
+
+    def test_warmup_prefix_zero(self, name, factory, rng):
+        detector = factory()
+        x = 10.0 + 0.4 * rng.normal(size=90)
+        scores = detector.scores(x)
+        warmup = detector.params.window - 1
+        assert np.all(scores[:warmup] == 0.0)
+
+    def test_nonnegative(self, name, factory, rng):
+        x = 10.0 + 0.4 * rng.normal(size=90)
+        assert np.all(factory().scores(x) >= 0.0)
+
+    def test_crossing_matches_statistic(self, name, factory, rng):
+        """scores[t] > 1 iff the raw statistic exceeds the threshold."""
+        detector = factory()
+        x = 10.0 + 0.4 * rng.normal(size=120)
+        x[80:] += 4.0
+        scores = detector.scores(x)
+        w = detector.params.window
+        for end in (90, 100, 110):
+            raw = detector.statistic_for_window(x[end - w:end])
+            assert scores[end - 1] == pytest.approx(
+                raw / detector.params.threshold)
+
+    def test_rises_after_change(self, name, factory, rng):
+        detector = factory()
+        x = 10.0 + 0.4 * rng.normal(size=160)
+        x[100:] += 4.0
+        scores = detector.scores(x)
+        pre = scores[detector.params.window:99].max()
+        post = scores[101:130].max()
+        assert post > pre
+
+
+class TestCalibrationStatistic:
+    def test_peak_post_statistic_ignores_pre_change(self, rng):
+        from repro.eval.calibrate import _peak_post_statistic
+        from repro.synthetic.dataset import CorpusSpec, EvaluationCorpus
+
+        item = next(iter(EvaluationCorpus(CorpusSpec(scale=0.01,
+                                                     seed=13))))
+        detector = CusumDetector()
+        peak = _peak_post_statistic(detector, item)
+        scores = detector.scores(item.treated_aggregate)
+        raw = scores * detector.params.threshold
+        assert peak == pytest.approx(raw[item.change_index:].max())
+        assert peak <= raw.max() + 1e-12

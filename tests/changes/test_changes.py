@@ -1,0 +1,165 @@
+"""Tests for software-change records, the change log and rollouts."""
+
+import pytest
+
+from repro.changes.change import ConfigScope, SoftwareChange, next_change_id
+from repro.changes.log import ChangeLog
+from repro.changes.rollout import RolloutPlan, RolloutPolicy, plan_rollout
+from repro.exceptions import ChangeLogError, ParameterError
+from repro.types import ChangeKind, LaunchMode
+
+
+def make_change(change_id="c1", service="svc.a", hosts=("h1",), at=0,
+                kind=ChangeKind.SOFTWARE_UPGRADE, **kwargs):
+    return SoftwareChange(change_id=change_id, kind=kind, service=service,
+                          hostnames=tuple(hosts), at_time=at, **kwargs)
+
+
+class TestSoftwareChange:
+    def test_unique_ids(self):
+        assert next_change_id() != next_change_id()
+
+    def test_launch_mode_dark(self):
+        change = make_change(hosts=("h1",))
+        assert change.launch_mode(("h1", "h2")) is LaunchMode.DARK
+
+    def test_launch_mode_full(self):
+        change = make_change(hosts=("h1", "h2"))
+        assert change.launch_mode(("h1", "h2")) is LaunchMode.FULL
+
+    def test_config_scope_valid(self):
+        change = make_change(kind=ChangeKind.CONFIG_CHANGE,
+                             config_scope=ConfigScope.SERVICE)
+        assert change.config_scope == "service"
+
+    def test_config_scope_invalid(self):
+        with pytest.raises(ChangeLogError):
+            make_change(kind=ChangeKind.CONFIG_CHANGE,
+                        config_scope="kernel")
+
+    def test_upgrade_with_scope_rejected(self):
+        with pytest.raises(ChangeLogError):
+            make_change(kind=ChangeKind.SOFTWARE_UPGRADE,
+                        config_scope=ConfigScope.OS)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(change_id=""), dict(service=""), dict(hosts=()),
+        dict(hosts=("h1", "h1")),
+    ])
+    def test_invalid_records(self, kwargs):
+        with pytest.raises(ChangeLogError):
+            make_change(**kwargs)
+
+
+class TestChangeLog:
+    def test_record_and_get(self):
+        log = ChangeLog()
+        change = make_change()
+        log.record(change)
+        assert log.get("c1") is change
+        assert len(log) == 1
+
+    def test_duplicate_id_rejected(self):
+        log = ChangeLog()
+        log.record(make_change())
+        with pytest.raises(ChangeLogError):
+            log.record(make_change())
+
+    def test_concurrency_guard(self):
+        log = ChangeLog(concurrency_guard_seconds=3600)
+        log.record(make_change("c1", at=0))
+        with pytest.raises(ChangeLogError):
+            log.record(make_change("c2", at=1800))
+        log.record(make_change("c3", at=3600))       # exactly at guard: ok
+        # Different services are never in conflict.
+        log.record(make_change("c4", service="svc.b", at=10))
+
+    def test_guard_disabled(self):
+        log = ChangeLog(concurrency_guard_seconds=0)
+        log.record(make_change("c1", at=0))
+        log.record(make_change("c2", at=1))
+        assert len(log) == 2
+
+    def test_iteration_time_ordered(self):
+        log = ChangeLog(concurrency_guard_seconds=0)
+        log.record(make_change("late", at=100))
+        log.record(make_change("early", at=5))
+        assert [c.change_id for c in log] == ["early", "late"]
+
+    def test_in_window(self):
+        log = ChangeLog(concurrency_guard_seconds=0)
+        for i, at in enumerate((0, 100, 200)):
+            log.record(make_change("c%d" % i, at=at))
+        window = log.in_window(50, 200)
+        assert [c.change_id for c in window] == ["c1"]
+
+    def test_latest_before(self):
+        log = ChangeLog()
+        log.record(make_change("c1", at=0))
+        log.record(make_change("c2", at=7200))
+        latest = log.latest_before("svc.a", 7000)
+        assert latest.change_id == "c1"
+        assert log.latest_before("svc.a", 0) is None
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(ChangeLogError):
+            ChangeLog().get("zzz")
+
+
+class TestRollout:
+    def test_dark_plan_splits(self):
+        plan = plan_rollout(["h%d" % i for i in range(8)],
+                            RolloutPolicy(treated_fraction=0.25, seed=1))
+        assert plan.mode is LaunchMode.DARK
+        assert len(plan.treated) == 2
+        assert len(plan.control) == 6
+        assert not set(plan.treated) & set(plan.control)
+
+    def test_full_plan(self):
+        plan = plan_rollout(["h1", "h2"],
+                            RolloutPolicy(mode=LaunchMode.FULL))
+        assert plan.mode is LaunchMode.FULL
+        assert plan.control == ()
+
+    def test_dark_always_leaves_control(self):
+        plan = plan_rollout(["h1", "h2"],
+                            RolloutPolicy(treated_fraction=0.99, seed=0))
+        assert len(plan.control) >= 1
+
+    def test_single_server_dark_rejected(self):
+        with pytest.raises(ParameterError):
+            plan_rollout(["h1"], RolloutPolicy())
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            plan_rollout([])
+
+    def test_deterministic_with_seed(self):
+        hosts = ["h%d" % i for i in range(10)]
+        p1 = plan_rollout(hosts, RolloutPolicy(seed=4))
+        p2 = plan_rollout(hosts, RolloutPolicy(seed=4))
+        assert p1.treated == p2.treated
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ParameterError):
+            RolloutPolicy(treated_fraction=1.0)
+
+    def test_plan_to_change(self):
+        plan = plan_rollout(["h1", "h2", "h3", "h4"],
+                            RolloutPolicy(seed=2))
+        change = plan.to_change("svc.a", ChangeKind.CONFIG_CHANGE,
+                                at_time=500,
+                                config_scope=ConfigScope.SERVICE)
+        assert change.service == "svc.a"
+        assert change.hostnames == plan.treated
+        assert change.at_time == 500
+
+    def test_inconsistent_plan_rejected(self):
+        with pytest.raises(ChangeLogError):
+            RolloutPlan(treated=("h1",), control=("h1",),
+                        mode=LaunchMode.DARK)
+        with pytest.raises(ChangeLogError):
+            RolloutPlan(treated=("h1",), control=(), mode=LaunchMode.DARK)
+        with pytest.raises(ChangeLogError):
+            RolloutPlan(treated=("h1",), control=("h2",),
+                        mode=LaunchMode.FULL)

@@ -1,0 +1,35 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A fresh, deterministically seeded generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def step_series(rng):
+    """A noisy level shift: 4 sigma up at index 100 of 200."""
+    x = 10.0 + 0.5 * rng.normal(size=200)
+    x[100:] += 2.0
+    return x
+
+
+@pytest.fixture
+def ramp_series(rng):
+    """A noisy ramp: 5 sigma over 25 bins starting at index 100."""
+    x = 10.0 + 0.5 * rng.normal(size=200)
+    x[100:125] += np.linspace(0.1, 2.5, 25)
+    x[125:] += 2.5
+    return x
+
+
+@pytest.fixture
+def noise_series(rng):
+    """Pure stationary noise, no change anywhere."""
+    return 10.0 + 0.5 * rng.normal(size=200)

@@ -1,0 +1,181 @@
+"""Tests for the difference-in-difference estimator."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.did import (DiDEstimator, DiDPanel, did_estimate,
+                            historical_control_windows)
+from repro.exceptions import InsufficientDataError, ParameterError
+
+
+def make_panel(rng, n_treated=4, n_control=12, omega=30, effect=0.0,
+               common_shift=0.0, noise=0.5, base=10.0):
+    pre = base + rng.normal(0, noise, size=(n_treated + n_control, omega))
+    post = pre + rng.normal(0, noise, size=pre.shape) + common_shift
+    post[:n_treated] += effect
+    return DiDPanel(pre[:n_treated], post[:n_treated],
+                    pre[n_treated:], post[n_treated:])
+
+
+class TestDiDPanel:
+    def test_1d_input_promoted(self):
+        panel = DiDPanel([1.0, 2.0], [3.0, 4.0], [1.0, 2.0], [1.0, 2.0])
+        assert panel.n_treated == panel.n_control == 1
+
+    def test_unit_count_mismatch_raises(self, rng):
+        with pytest.raises(ParameterError):
+            DiDPanel(rng.normal(size=(3, 5)), rng.normal(size=(2, 5)),
+                     rng.normal(size=(4, 5)), rng.normal(size=(4, 5)))
+
+    def test_empty_raises(self):
+        with pytest.raises(InsufficientDataError):
+            DiDPanel([], [], [], [])
+
+    def test_nan_raises(self, rng):
+        bad = rng.normal(size=(2, 5))
+        bad[0, 0] = np.nan
+        with pytest.raises(ParameterError):
+            DiDPanel(bad, bad, bad, bad)
+
+    def test_unit_differences(self):
+        panel = DiDPanel([[0.0, 0.0]], [[2.0, 4.0]],
+                         [[1.0, 1.0]], [[1.0, 1.0]])
+        treated, control = panel.unit_differences()
+        assert treated[0] == 3.0
+        assert control[0] == 0.0
+
+
+class TestDiDEstimate:
+    def test_recovers_injected_effect(self, rng):
+        panel = make_panel(rng, effect=5.0)
+        assert did_estimate(panel) == pytest.approx(5.0, abs=0.5)
+
+    def test_common_shift_cancels(self, rng):
+        """Other factors hitting both groups leave alpha ~ 0 (the DiD
+        identification assumption, paper section 3.2.4)."""
+        panel = make_panel(rng, effect=0.0, common_shift=8.0)
+        assert abs(did_estimate(panel)) < 0.5
+
+    def test_effect_on_top_of_common_shift(self, rng):
+        panel = make_panel(rng, effect=3.0, common_shift=8.0)
+        assert did_estimate(panel) == pytest.approx(3.0, abs=0.5)
+
+    def test_negative_effect(self, rng):
+        panel = make_panel(rng, effect=-4.0)
+        assert did_estimate(panel) == pytest.approx(-4.0, abs=0.5)
+
+    @given(st.integers(0, 2 ** 31), st.floats(-50, 50),
+           st.floats(-50, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_double_difference_identity_property(self, seed, effect,
+                                                 common):
+        """alpha == (treated post-pre) - (control post-pre), Eq. 16."""
+        rng = np.random.default_rng(seed)
+        panel = make_panel(rng, effect=effect, common_shift=common,
+                           noise=0.1)
+        treated, control = panel.unit_differences()
+        expected = treated.mean() - control.mean()
+        assert did_estimate(panel) == pytest.approx(expected, abs=1e-9)
+
+
+class TestDiDEstimator:
+    def test_alpha_matches_plain_double_difference(self, rng):
+        panel = make_panel(rng, effect=2.0)
+        result = DiDEstimator().fit(panel)
+        assert result.alpha == pytest.approx(did_estimate(panel), abs=1e-9)
+
+    def test_significance_on_clear_effect(self, rng):
+        panel = make_panel(rng, effect=5.0, noise=0.3)
+        result = DiDEstimator().fit(panel)
+        assert result.p_value < 0.01
+        assert result.significant(threshold=0.5)
+
+    def test_insignificant_on_null(self, rng):
+        panel = make_panel(rng, effect=0.0, noise=0.3)
+        result = DiDEstimator().fit(panel)
+        assert not result.significant(threshold=0.5)
+
+    def test_normalised_alpha_scale_free(self, rng):
+        panel1 = make_panel(rng, effect=5.0, noise=0.5)
+        rng2 = np.random.default_rng(12345)
+        panel2 = make_panel(rng2, effect=500.0, noise=50.0, base=1000.0)
+        r1 = DiDEstimator().fit(panel1)
+        r2 = DiDEstimator().fit(panel2)
+        assert r1.normalised_alpha == pytest.approx(r2.normalised_alpha,
+                                                    rel=0.5)
+
+    def test_single_unit_groups_have_nan_se(self, rng):
+        panel = DiDPanel(rng.normal(size=(1, 10)), rng.normal(size=(1, 10)),
+                         rng.normal(size=(1, 10)), rng.normal(size=(1, 10)))
+        result = DiDEstimator().fit(panel)
+        assert math.isnan(result.std_error)
+        assert math.isnan(result.p_value)
+
+    def test_significant_requires_p_value_when_asked(self, rng):
+        panel = make_panel(rng, effect=5.0, noise=0.3)
+        result = DiDEstimator().fit(panel)
+        assert result.significant(threshold=0.5, max_p_value=0.05)
+        weak = make_panel(np.random.default_rng(7), effect=0.9, noise=3.0,
+                          n_treated=2, n_control=2)
+        weak_result = DiDEstimator().fit(weak)
+        if math.isfinite(weak_result.p_value):
+            assert (weak_result.significant(0.01, max_p_value=1e-12)
+                    in (False, True))  # does not crash
+
+    def test_docstring_example(self):
+        rng = np.random.default_rng(0)
+        pre = rng.normal(10.0, 0.5, size=(8, 30))
+        post = pre + rng.normal(0.0, 0.5, size=(8, 30))
+        post[:4] += 5.0
+        panel = DiDPanel(pre[:4], post[:4], pre[4:], post[4:])
+        result = DiDEstimator().fit(panel)
+        assert round(result.alpha, 0) == 5.0
+
+
+class TestHistoricalControlWindows:
+    def _history(self, rng, days=35, samples_per_day=100, omega=10):
+        n = days * samples_per_day
+        return 50.0 + rng.normal(0, 1.0, size=n)
+
+    def test_shapes(self, rng):
+        x = self._history(rng)
+        change = 33 * 100 + 40
+        panel = historical_control_windows(x, change, omega=10, days=30,
+                                           samples_per_day=100)
+        assert panel.treated_pre.shape == (1, 10)
+        assert panel.control_pre.shape[0] == 30
+        assert panel.control_post.shape == panel.control_pre.shape
+
+    def test_short_history_truncates_days(self, rng):
+        x = self._history(rng, days=5)
+        change = 4 * 100 + 50
+        panel = historical_control_windows(x, change, omega=10, days=30,
+                                           samples_per_day=100)
+        assert 1 <= panel.control_pre.shape[0] <= 5
+
+    def test_no_full_day_raises(self, rng):
+        x = rng.normal(size=150)
+        with pytest.raises(InsufficientDataError):
+            historical_control_windows(x, 80, omega=10, days=30,
+                                       samples_per_day=1000)
+
+    def test_change_at_edge_raises(self, rng):
+        x = self._history(rng)
+        with pytest.raises(InsufficientDataError):
+            historical_control_windows(x, 5, omega=10)
+
+    def test_seasonal_alignment_cancels_diurnal_pattern(self, rng):
+        """A pure daily cycle yields alpha ~ 0 (section 3.2.5)."""
+        samples_per_day = 144            # 10-minute bins
+        days = 32
+        t = np.arange(days * samples_per_day)
+        cycle = 10.0 * np.sin(2 * np.pi * t / samples_per_day)
+        x = 100.0 + cycle + 0.3 * rng.normal(size=t.size)
+        change = 31 * samples_per_day + 60
+        panel = historical_control_windows(x, change, omega=12, days=30,
+                                           samples_per_day=samples_per_day)
+        assert abs(did_estimate(panel)) < 1.0

@@ -1,0 +1,161 @@
+"""Tests for the FUNNEL pipeline (Fig. 3 decision flow)."""
+
+import numpy as np
+import pytest
+
+from repro.core.funnel import Funnel, FunnelConfig
+from repro.core.rsst import ImprovedSSTParams
+from repro.exceptions import ParameterError
+from repro.types import Verdict
+
+
+def correlated_groups(rng, n_treated=4, n_control=12, bins=200, base=50.0):
+    shared = base + rng.normal(0, 1.0, size=bins)
+    noise = rng.normal(0, 0.5, size=(n_treated + n_control, bins))
+    series = shared + noise
+    return series[:n_treated].copy(), series[n_treated:].copy()
+
+
+class TestFunnelConfig:
+    def test_defaults(self):
+        cfg = FunnelConfig()
+        assert cfg.sst.omega == 9
+        assert cfg.effective_did_window == 17
+
+    def test_explicit_did_window(self):
+        assert FunnelConfig(did_window=25).effective_did_window == 25
+
+    def test_invalid(self):
+        with pytest.raises(ParameterError):
+            FunnelConfig(did_threshold=0.0)
+        with pytest.raises(ParameterError):
+            FunnelConfig(did_window=-1)
+
+
+class TestDetect:
+    def test_detects_post_change_shift(self, rng):
+        treated, _ = correlated_groups(rng)
+        series = treated.mean(axis=0)
+        series[120:] += 6.0
+        changes = Funnel().detect(series, change_index=120)
+        assert changes
+        assert changes[0].start_index >= 119
+
+    def test_ignores_pre_change_shift(self, rng):
+        treated, _ = correlated_groups(rng)
+        series = treated.mean(axis=0)
+        series[50:] += 6.0          # pre-existing change
+        changes = Funnel().detect(series, change_index=120)
+        assert changes == []
+
+    def test_invalid_change_index(self, rng):
+        with pytest.raises(ParameterError):
+            Funnel().detect(rng.normal(size=100), change_index=100)
+
+
+class TestAssessWithPeers:
+    def test_treated_only_impact_attributed(self, rng):
+        treated, control = correlated_groups(rng)
+        treated[:, 100:] += 8.0
+        result = Funnel().assess(treated, 100, control=control)
+        assert result.verdict is Verdict.CAUSED_BY_CHANGE
+        assert result.control == "peers"
+        assert result.did_estimate > 1.0
+
+    def test_common_event_excluded(self, rng):
+        treated, control = correlated_groups(rng)
+        treated[:, 100:] += 8.0
+        control[:, 100:] += 8.0          # the event hits everyone
+        result = Funnel().assess(treated, 100, control=control)
+        assert result.verdict is Verdict.OTHER_REASONS
+        assert abs(result.did_estimate) < 1.0
+
+    def test_no_change_verdict(self, rng):
+        treated, control = correlated_groups(rng)
+        result = Funnel().assess(treated, 100, control=control)
+        assert result.verdict is Verdict.NO_CHANGE
+        assert result.change is None
+
+    def test_negative_impact_attributed(self, rng):
+        treated, control = correlated_groups(rng)
+        treated[:, 100:] -= 8.0
+        result = Funnel().assess(treated, 100, control=control)
+        assert result.verdict is Verdict.CAUSED_BY_CHANGE
+        assert result.did_estimate < -1.0
+
+    def test_direction_mismatch_not_attributed(self, rng):
+        """A detected up-shift whose DiD says 'down' is control noise."""
+        treated, control = correlated_groups(rng, n_treated=1, n_control=2)
+        # Up-shift in treated AND a much larger up-shift in control: the
+        # detection is positive but the relative movement is negative.
+        treated[:, 100:] += 6.0
+        control[:, 100:] += 14.0
+        result = Funnel().assess(treated, 100, control=control)
+        assert result.verdict is Verdict.OTHER_REASONS
+
+
+class TestAssessWithHistory:
+    def _seasonal(self, rng, bins=240):
+        # A day-long cycle: the 2 h assessment window sees a steady
+        # seasonal drift, the classic confounder.
+        t = np.arange(bins, dtype=float)
+        return 100.0 + 30.0 * np.sin(2 * np.pi * t / 1440.0)
+
+    def test_seasonality_excluded(self, rng):
+        base = self._seasonal(rng)
+        today = base + rng.normal(0, 1.0, size=base.size)
+        today[120:150] += 8.0            # a blip also present in history
+        history = np.vstack([
+            base + rng.normal(0, 1.0, size=base.size) for _ in range(30)
+        ])
+        history[:, 120:150] += 8.0
+        result = Funnel().assess(today, 120, history=history)
+        assert result.verdict in (Verdict.NO_CHANGE, Verdict.SEASONALITY)
+
+    def test_real_impact_vs_history(self, rng):
+        base = self._seasonal(rng)
+        today = base + rng.normal(0, 1.0, size=base.size)
+        today[120:] -= 40.0
+        history = np.vstack([
+            base + rng.normal(0, 1.0, size=base.size) for _ in range(30)
+        ])
+        result = Funnel().assess(today, 120, history=history)
+        assert result.verdict is Verdict.CAUSED_BY_CHANGE
+        assert result.control == "history"
+
+    def test_no_control_at_all_reports_with_note(self, rng):
+        series = 50.0 + rng.normal(0, 0.5, size=200)
+        series[100:] += 6.0
+        result = Funnel().assess(series, 100)
+        assert result.verdict is Verdict.CAUSED_BY_CHANGE
+        assert result.control is None
+        assert result.notes
+
+
+class TestConfigurationVariants:
+    def test_omega5_quick_profile(self, rng):
+        cfg = FunnelConfig(sst=ImprovedSSTParams(omega=5))
+        treated, control = correlated_groups(rng)
+        treated[:, 100:] += 8.0
+        quick = Funnel(cfg).assess(treated, 100, control=control)
+        slow = Funnel().assess(treated, 100, control=control)
+        assert quick.verdict is Verdict.CAUSED_BY_CHANGE
+        # omega = 5 declares earlier than omega = 9 (less lookahead).
+        assert quick.change.index <= slow.change.index
+
+    def test_strict_did_threshold_filters_small_effects(self, rng):
+        treated, control = correlated_groups(rng)
+        treated[:, 100:] += 3.0
+        lenient = Funnel(FunnelConfig(did_threshold=0.5)).assess(
+            treated, 100, control=control)
+        strict = Funnel(FunnelConfig(did_threshold=50.0)).assess(
+            treated, 100, control=control)
+        assert lenient.verdict is Verdict.CAUSED_BY_CHANGE
+        assert strict.verdict is Verdict.OTHER_REASONS
+
+    def test_single_series_input(self, rng):
+        series = 50.0 + rng.normal(0, 0.5, size=200)
+        series[100:] += 5.0
+        control = 50.0 + rng.normal(0, 0.5, size=(6, 200))
+        result = Funnel().assess(series, 100, control=control)
+        assert result.verdict is Verdict.CAUSED_BY_CHANGE

@@ -1,0 +1,164 @@
+"""Tests for the improved SST (exact) and its IKA fast path."""
+
+import numpy as np
+import pytest
+
+from repro.core.ika import IkaSST
+from repro.core.rsst import ImprovedSST, ImprovedSSTParams, median_mad_gate
+from repro.core.scoring import robust_normalise
+from repro.exceptions import InsufficientDataError, ParameterError
+
+
+class TestImprovedSSTParams:
+    def test_defaults_match_paper(self):
+        p = ImprovedSSTParams()
+        assert p.omega == 9 and p.eta == 3
+        assert p.delta == p.gamma == p.omega       # gamma = delta = omega
+        assert p.window_length == 34               # W_FUNNEL
+
+    @pytest.mark.parametrize("omega,expected_w", [(5, 18), (9, 34),
+                                                  (15, 58)])
+    def test_window_lengths(self, omega, expected_w):
+        assert ImprovedSSTParams(omega=omega).window_length == expected_w
+
+    def test_invalid_direction_mode(self):
+        with pytest.raises(ParameterError):
+            ImprovedSSTParams(future_directions="median")
+
+    def test_invalid_eta(self):
+        with pytest.raises(ParameterError):
+            ImprovedSSTParams(omega=5, eta=6)
+
+
+class TestMedianMadGate:
+    def test_zero_on_stable_constant(self):
+        x = np.full(100, 7.0)
+        assert median_mad_gate(x, 50, omega=9) == 0.0
+
+    def test_level_shift_passes_through_median_term(self):
+        x = np.r_[np.zeros(50), np.ones(50) * 4.0]
+        gate = median_mad_gate(x, 50, omega=9)
+        assert gate == pytest.approx(2.0)      # sqrt(4) + sqrt(0)
+
+    def test_variance_change_passes_through_mad_term(self, rng):
+        x = np.r_[rng.normal(0, 0.1, 50), rng.normal(0, 4.0, 50)]
+        gate = median_mad_gate(x, 50, omega=9)
+        assert gate > 1.0
+
+    def test_symmetric_in_direction(self):
+        up = np.r_[np.zeros(50), np.full(50, 3.0)]
+        down = np.r_[np.full(50, 3.0), np.zeros(50)]
+        assert median_mad_gate(up, 50, 9) == pytest.approx(
+            median_mad_gate(down, 50, 9))
+
+
+class TestImprovedSST:
+    def test_detects_step(self, step_series):
+        xs = robust_normalise(step_series, baseline=90)
+        scores = ImprovedSST().scores(xs)
+        assert scores[95:110].max() > 1.0
+
+    def test_raw_score_in_unit_interval(self, rng):
+        x = rng.normal(size=120)
+        sst = ImprovedSST(ImprovedSSTParams(gated=False))
+        scores = sst.scores(x)
+        assert np.all(scores >= 0.0) and np.all(scores <= 1.0 + 1e-12)
+
+    def test_gating_suppresses_stable_sections(self, rng):
+        x = np.full(120, 3.0)
+        gated = ImprovedSST().scores(x)
+        assert gated.max() == 0.0
+
+    def test_smallest_direction_variant_runs(self, step_series):
+        xs = robust_normalise(step_series, baseline=90)
+        p = ImprovedSSTParams(future_directions="smallest")
+        scores = ImprovedSST(p).scores(xs)
+        assert scores.shape == xs.shape
+        assert np.all(scores >= 0.0)
+
+    def test_too_short_raises(self, rng):
+        with pytest.raises(InsufficientDataError):
+            ImprovedSST().scores(rng.normal(size=30))
+
+    def test_future_pairs_shapes(self, rng):
+        x = rng.normal(size=100)
+        sst = ImprovedSST()
+        lam, betas = sst.future_pairs(x, 50)
+        assert lam.shape == (3,)
+        assert betas.shape == (9, 3)
+        assert np.all(lam >= 0.0)
+        # Largest mode: eigenvalues descending.
+        assert np.all(np.diff(lam) <= 1e-9)
+
+
+class TestIkaSST:
+    def test_batched_equals_reference(self, step_series):
+        xs = robust_normalise(step_series, baseline=90)
+        ika = IkaSST()
+        np.testing.assert_allclose(ika.scores(xs), ika.scores_reference(xs),
+                                   atol=1e-10)
+
+    def test_batched_equals_reference_on_noise(self, noise_series):
+        xs = robust_normalise(noise_series)
+        ika = IkaSST()
+        np.testing.assert_allclose(ika.scores(xs), ika.scores_reference(xs),
+                                   atol=1e-10)
+
+    def test_agrees_with_exact_at_peak(self, step_series):
+        """IKA and exact SVD agree on where and how strongly it fires."""
+        xs = robust_normalise(step_series, baseline=90)
+        exact = ImprovedSST().scores(xs)
+        fast = IkaSST().scores(xs)
+        assert abs(int(np.argmax(exact)) - int(np.argmax(fast))) <= 5
+        # The k=5 Krylov space underestimates the exact discordance
+        # somewhat; what matters for detection is that both clear the
+        # declaration threshold at the same place.
+        assert fast.max() == pytest.approx(exact.max(), rel=0.5)
+        assert fast.max() > 1.0 and exact.max() > 1.0
+
+    def test_correlates_with_exact(self, ramp_series):
+        xs = robust_normalise(ramp_series, baseline=90)
+        exact = ImprovedSST().scores(xs)
+        fast = IkaSST().scores(xs)
+        active = slice(17, -17)
+        corr = np.corrcoef(exact[active], fast[active])[0, 1]
+        assert corr > 0.9
+
+    def test_krylov_dimension_from_eta(self):
+        assert IkaSST(ImprovedSSTParams(eta=3)).krylov_k == 5
+        assert IkaSST(ImprovedSSTParams(eta=2)).krylov_k == 4
+
+    def test_score_at_matches_batched(self, step_series):
+        xs = robust_normalise(step_series, baseline=90)
+        ika = IkaSST()
+        batched = ika.scores(xs)
+        for t in (30, 60, 100, 150):
+            assert batched[t] == pytest.approx(ika.score_at(xs, t),
+                                               abs=1e-10)
+
+    def test_omega5_quick_mitigation_profile(self, rng):
+        x = np.r_[np.zeros(40), np.full(40, 3.0)] + 0.05 * rng.normal(size=80)
+        xs = robust_normalise(x, baseline=35)
+        p = ImprovedSSTParams(omega=5)
+        scores = IkaSST(p).scores(xs)
+        assert scores[36:50].max() > 0.5
+
+    def test_constant_series_zero_scores(self):
+        scores = IkaSST().scores(np.full(100, 2.0))
+        assert scores.max() == 0.0
+
+    def test_too_short_raises(self, rng):
+        with pytest.raises(InsufficientDataError):
+            IkaSST().scores(rng.normal(size=20))
+
+    def test_smallest_variant_batched_equals_reference(self, step_series):
+        xs = robust_normalise(step_series, baseline=90)
+        ika = IkaSST(ImprovedSSTParams(future_directions="smallest"))
+        np.testing.assert_allclose(ika.scores(xs), ika.scores_reference(xs),
+                                   atol=1e-10)
+
+    def test_ungated_batched_equals_reference(self, step_series):
+        xs = robust_normalise(step_series, baseline=90)
+        ika = IkaSST(ImprovedSSTParams(gated=False))
+        np.testing.assert_allclose(ika.scores(xs), ika.scores_reference(xs),
+                                   atol=1e-10)

@@ -1,0 +1,179 @@
+"""Tests for change-score post-processing and declaration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scoring import (ChangeDeclarationPolicy, PERSISTENCE_MINUTES,
+                                classify_change, declare_changes,
+                                estimate_change_start, robust_normalise)
+from repro.exceptions import InsufficientDataError, ParameterError
+
+
+class TestRobustNormalise:
+    def test_baseline_statistics(self, rng):
+        x = rng.normal(50.0, 2.0, size=300)
+        z = robust_normalise(x)
+        assert abs(np.median(z)) < 0.05
+        assert np.std(z) == pytest.approx(1.0, rel=0.15)
+
+    def test_baseline_prefix_only(self, rng):
+        x = np.r_[rng.normal(0, 1, 100), rng.normal(100, 1, 100)]
+        z = robust_normalise(x, baseline=100)
+        # Post-change values measured in baseline sigmas.
+        assert np.median(z[100:]) == pytest.approx(100.0, rel=0.1)
+
+    def test_constant_series_safe(self):
+        z = robust_normalise(np.full(50, 3.0))
+        assert np.all(z == 0.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(InsufficientDataError):
+            robust_normalise([])
+
+    def test_bad_baseline_raises(self, rng):
+        with pytest.raises(ParameterError):
+            robust_normalise(rng.normal(size=10), baseline=11)
+
+    @given(st.integers(0, 2 ** 31), st.floats(0.1, 1e4),
+           st.floats(-1e4, 1e4))
+    @settings(max_examples=30, deadline=None)
+    def test_scale_invariance_property(self, seed, scale, shift):
+        """Normalisation removes affine transformations of the input."""
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=100)
+        z1 = robust_normalise(x)
+        z2 = robust_normalise(scale * x + shift)
+        np.testing.assert_allclose(z1, z2, atol=1e-6)
+
+
+class TestEstimateChangeStart:
+    def test_finds_step_start(self, rng):
+        x = 0.1 * rng.normal(size=200)
+        x[120:] += 5.0
+        start = estimate_change_start(x, detected_at=140, baseline=120)
+        assert 118 <= start <= 122
+
+    def test_no_deviation_returns_detection(self, rng):
+        x = 0.1 * rng.normal(size=100)
+        assert estimate_change_start(x, detected_at=50) == 50
+
+    def test_out_of_range_raises(self, rng):
+        with pytest.raises(ParameterError):
+            estimate_change_start(rng.normal(size=10), detected_at=10)
+
+
+class TestClassifyChange:
+    def test_step_classified_as_level_shift(self, rng):
+        x = 0.05 * rng.normal(size=100)
+        x[50:] += 3.0
+        assert classify_change(x, start=50, detected_at=60) == "level_shift"
+
+    def test_gradual_ramp_classified_as_ramp(self, rng):
+        x = 0.05 * rng.normal(size=120)
+        x[40:100] += np.linspace(0, 3.0, 60)
+        x[100:] += 3.0
+        assert classify_change(x, start=45, detected_at=85) == "ramp"
+
+    def test_tiny_segment_defaults_to_level_shift(self):
+        x = np.array([0.0, 5.0])
+        assert classify_change(x, 1, 1, context=0) == "level_shift"
+
+
+class TestChangeDeclarationPolicy:
+    def test_defaults(self):
+        p = ChangeDeclarationPolicy()
+        assert p.persistence == PERSISTENCE_MINUTES == 7
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(score_threshold=0.0), dict(persistence=0),
+        dict(deviation_sigmas=0.0),
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ParameterError):
+            ChangeDeclarationPolicy(**kwargs)
+
+
+class TestDeclareChanges:
+    def _scores_for(self, x):
+        from repro.core.ika import IkaSST
+        return IkaSST().scores(robust_normalise(x, baseline=100))
+
+    def test_declares_persistent_step(self, step_series):
+        xs = robust_normalise(step_series, baseline=100)
+        changes = declare_changes(xs, self._scores_for(step_series))
+        assert len(changes) >= 1
+        change = changes[0]
+        assert 95 <= change.start_index <= 108
+        assert change.direction == 1
+        assert change.index >= change.start_index
+
+    def test_rejects_one_off_spike(self, rng):
+        x = 10.0 + 0.5 * rng.normal(size=200)
+        x[100:103] += 6.0          # 3-minute excursion < 7-minute rule
+        xs = robust_normalise(x, baseline=100)
+        changes = declare_changes(xs, self._scores_for(x))
+        assert changes == []
+
+    def test_accepts_just_long_enough_excursion(self, rng):
+        x = 10.0 + 0.3 * rng.normal(size=200)
+        x[100:100 + PERSISTENCE_MINUTES + 2] += 6.0
+        xs = robust_normalise(x, baseline=100)
+        changes = declare_changes(xs, self._scores_for(x))
+        assert len(changes) >= 1
+
+    def test_no_changes_on_noise(self, noise_series):
+        xs = robust_normalise(noise_series, baseline=100)
+        assert declare_changes(xs, self._scores_for(noise_series)) == []
+
+    def test_detects_downward_change(self, rng):
+        x = 10.0 + 0.5 * rng.normal(size=200)
+        x[100:] -= 3.0
+        xs = robust_normalise(x, baseline=100)
+        changes = declare_changes(xs, self._scores_for(x))
+        assert changes and changes[0].direction == -1
+
+    def test_first_only_stops_early(self, rng):
+        x = 10.0 + 0.3 * rng.normal(size=300)
+        x[100:] += 4.0
+        x[200:] += 4.0
+        xs = robust_normalise(x, baseline=100)
+        scores = self._scores_for(x)
+        all_changes = declare_changes(xs, scores)
+        first = declare_changes(xs, scores, first_only=True)
+        assert len(first) == 1
+        assert len(all_changes) >= len(first)
+
+    def test_lookahead_shifts_declaration_index(self, rng):
+        x = 10.0 + 0.3 * rng.normal(size=200)
+        x[100:] += 4.0
+        xs = robust_normalise(x, baseline=100)
+        scores = self._scores_for(x)
+        without = declare_changes(xs, scores)
+        with_la = declare_changes(xs, scores, lookahead=16)
+        assert with_la[0].index >= without[0].index
+        # Same underlying change.
+        assert abs(with_la[0].start_index - without[0].start_index) <= 2
+
+    def test_mismatched_lengths_raise(self, rng):
+        with pytest.raises(ParameterError):
+            declare_changes(rng.normal(size=50), rng.normal(size=40))
+
+    def test_negative_lookahead_raises(self, rng):
+        x = rng.normal(size=50)
+        with pytest.raises(ParameterError):
+            declare_changes(x, np.zeros(50), lookahead=-1)
+
+    def test_delay_floor_is_persistence(self, rng):
+        """A declared change is never faster than the persistence rule."""
+        x = 10.0 + 0.1 * rng.normal(size=200)
+        x[100:] += 8.0
+        xs = robust_normalise(x, baseline=100)
+        changes = declare_changes(xs, self._scores_for(x))
+        assert changes
+        change = changes[0]
+        assert change.index - change.start_index >= 0
+        # Confirmation needs at least `persistence` bins from its
+        # candidate; candidates cannot precede the start by much.
+        assert change.index >= change.start_index + 3

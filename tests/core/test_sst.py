@@ -1,0 +1,107 @@
+"""Tests for classic SST (paper section 3.2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sst import SSTParams, SingularSpectrumTransform, sst_scores
+from repro.exceptions import InsufficientDataError, ParameterError
+
+
+class TestSSTParams:
+    def test_paper_defaults(self):
+        p = SSTParams.paper_defaults(omega=9)
+        assert (p.omega, p.delta, p.gamma, p.rho, p.eta) == (9, 9, 9, 0, 3)
+
+    def test_window_length_matches_paper_w34(self):
+        # Section 4.1: W_FUNNEL = 34 with omega = 9.
+        assert SSTParams.paper_defaults(9).window_length == 34
+
+    def test_eta_clamped_for_small_omega(self):
+        assert SSTParams.paper_defaults(2).eta == 2
+
+    @pytest.mark.parametrize("bad", [
+        dict(omega=1), dict(delta=0), dict(gamma=0), dict(rho=-1),
+        dict(eta=0), dict(eta=10, omega=9),
+    ])
+    def test_invalid_params(self, bad):
+        with pytest.raises(ParameterError):
+            SSTParams(**bad)
+
+    def test_index_ranges(self):
+        p = SSTParams.paper_defaults(9)
+        assert p.first_index() == 17
+        assert p.last_index(100) == 100 - 17 + 1
+
+
+class TestSingularSpectrumTransform:
+    def test_scores_elevated_around_step(self, rng):
+        x = np.r_[np.zeros(80), np.ones(80)] + 0.02 * rng.normal(size=160)
+        scores = SingularSpectrumTransform().scores(x)
+        # The score at t looks ahead omega+gamma-1 samples, so the step
+        # at 80 elevates scores from ~index 63 onwards.  Classic SST is
+        # noise-fragile (the paper's stated motivation for the improved
+        # variant), so we assert elevation near the step rather than a
+        # global argmax there.
+        assert scores[63:98].max() > 0.3
+
+    def test_scores_in_unit_interval(self, rng):
+        x = rng.normal(size=120)
+        scores = SingularSpectrumTransform().scores(x)
+        assert np.all(scores >= 0.0)
+        assert np.all(scores <= 1.0)
+
+    def test_edges_are_zero(self, rng):
+        x = rng.normal(size=100)
+        p = SSTParams.paper_defaults(9)
+        scores = SingularSpectrumTransform(p).scores(x)
+        assert np.all(scores[:p.first_index()] == 0.0)
+        assert np.all(scores[p.last_index(100):] == 0.0)
+
+    def test_constant_series_scores_low(self):
+        x = np.full(100, 5.0)
+        scores = SingularSpectrumTransform().scores(x)
+        # A constant series has a rank-1 past subspace that contains the
+        # (constant) future direction: no change anywhere.
+        assert scores.max() < 1e-6
+
+    def test_sinusoid_scores_low(self):
+        t = np.arange(300)
+        x = np.sin(2 * np.pi * t / 50.0)
+        scores = SingularSpectrumTransform().scores(x)
+        # Periodic dynamics are captured by the eta=3 subspace.
+        assert np.median(scores[17:-17]) < 0.1
+
+    def test_frequency_change_detected(self):
+        t = np.arange(150)
+        x = np.r_[np.sin(2 * np.pi * t[:75] / 25.0),
+                  np.sin(2 * np.pi * t[75:] / 7.0)]
+        scores = SingularSpectrumTransform().scores(x)
+        assert int(np.argmax(scores)) in range(55, 95)
+        assert scores.max() > 0.3
+
+    def test_too_short_series_raises(self, rng):
+        with pytest.raises(InsufficientDataError):
+            SingularSpectrumTransform().scores(rng.normal(size=30))
+
+    def test_past_subspace_is_orthonormal(self, rng):
+        x = rng.normal(size=100)
+        sst = SingularSpectrumTransform()
+        u = sst.past_subspace(x, 50)
+        np.testing.assert_allclose(u.T @ u, np.eye(u.shape[1]), atol=1e-10)
+
+    def test_future_direction_is_unit(self, rng):
+        x = rng.normal(size=100)
+        sst = SingularSpectrumTransform()
+        beta = sst.future_direction(x, 50)
+        assert np.linalg.norm(beta) == pytest.approx(1.0, abs=1e-10)
+
+    def test_score_at_single_index_matches_scores(self, rng):
+        x = rng.normal(size=100)
+        sst = SingularSpectrumTransform()
+        scores = sst.scores(x)
+        assert scores[40] == pytest.approx(sst.score_at(x, 40))
+
+    def test_convenience_wrapper(self, rng):
+        x = rng.normal(size=100)
+        np.testing.assert_allclose(
+            sst_scores(x), SingularSpectrumTransform().scores(x))

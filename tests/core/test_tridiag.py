@@ -1,0 +1,108 @@
+"""Tests for the QL-iteration tridiagonal eigensolver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tridiag import tridiag_eigh
+from repro.exceptions import ParameterError
+
+
+def dense_from(diag, sub):
+    n = len(diag)
+    t = np.diag(np.asarray(diag, dtype=float))
+    for i in range(n - 1):
+        t[i, i + 1] = t[i + 1, i] = sub[i]
+    return t
+
+
+class TestTridiagEigh:
+    def test_matches_numpy(self, rng):
+        d = rng.normal(size=6)
+        e = rng.normal(size=5)
+        w, v = tridiag_eigh(d, e)
+        w_np, _ = np.linalg.eigh(dense_from(d, e))
+        np.testing.assert_allclose(w, w_np, atol=1e-10)
+
+    def test_eigenvectors_satisfy_definition(self, rng):
+        d = rng.normal(size=7)
+        e = rng.normal(size=6)
+        t = dense_from(d, e)
+        w, v = tridiag_eigh(d, e)
+        for i in range(7):
+            np.testing.assert_allclose(t @ v[:, i], w[i] * v[:, i],
+                                       atol=1e-9)
+
+    def test_eigenvectors_orthonormal(self, rng):
+        d = rng.normal(size=8)
+        e = rng.normal(size=7)
+        _, v = tridiag_eigh(d, e)
+        np.testing.assert_allclose(v.T @ v, np.eye(8), atol=1e-9)
+
+    def test_eigenvalues_ascending(self, rng):
+        d = rng.normal(size=9)
+        e = rng.normal(size=8)
+        w, _ = tridiag_eigh(d, e)
+        assert np.all(np.diff(w) >= -1e-12)
+
+    def test_1x1(self):
+        w, v = tridiag_eigh([3.0], [])
+        assert w[0] == 3.0
+        assert v[0, 0] == 1.0
+
+    def test_2x2_analytic(self):
+        # [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+        w, v = tridiag_eigh([2.0, 2.0], [1.0])
+        np.testing.assert_allclose(w, [1.0, 3.0], atol=1e-12)
+
+    def test_diagonal_matrix(self):
+        w, v = tridiag_eigh([3.0, 1.0, 2.0], [0.0, 0.0])
+        np.testing.assert_allclose(w, [1.0, 2.0, 3.0])
+        # Eigenvectors are (permuted) standard basis vectors.
+        assert np.allclose(np.abs(v).max(axis=0), 1.0)
+
+    def test_repeated_eigenvalues(self):
+        w, v = tridiag_eigh([5.0, 5.0, 5.0], [0.0, 0.0])
+        np.testing.assert_allclose(w, [5.0, 5.0, 5.0])
+        np.testing.assert_allclose(v.T @ v, np.eye(3), atol=1e-12)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ParameterError):
+            tridiag_eigh([1.0, 2.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            tridiag_eigh([], [])
+
+    def test_input_not_mutated(self):
+        d = np.array([1.0, 2.0, 3.0])
+        e = np.array([0.5, 0.5])
+        tridiag_eigh(d, e)
+        np.testing.assert_array_equal(d, [1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(e, [0.5, 0.5])
+
+    @given(st.integers(1, 12), st.integers(0, 2 ** 31))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_numpy_property(self, n, seed):
+        rng = np.random.default_rng(seed)
+        d = rng.normal(size=n)
+        e = rng.normal(size=max(n - 1, 0))
+        w, v = tridiag_eigh(d, e)
+        t = dense_from(d, e)
+        w_np = np.linalg.eigvalsh(t)
+        np.testing.assert_allclose(w, w_np, atol=1e-8)
+        # Reconstruction: V diag(w) V^T == T.
+        np.testing.assert_allclose(v @ np.diag(w) @ v.T, t, atol=1e-8)
+
+    @given(st.integers(2, 10), st.integers(0, 2 ** 31),
+           st.floats(1e-6, 1e6))
+    @settings(max_examples=25, deadline=None)
+    def test_scaling_property(self, n, seed, factor):
+        """eig(c*T) == c*eig(T)."""
+        rng = np.random.default_rng(seed)
+        d = rng.normal(size=n)
+        e = rng.normal(size=n - 1)
+        w1, _ = tridiag_eigh(d, e)
+        w2, _ = tridiag_eigh(factor * d, factor * e)
+        np.testing.assert_allclose(w2, factor * w1, rtol=1e-6, atol=1e-9)

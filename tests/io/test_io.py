@@ -1,0 +1,162 @@
+"""Tests for CSV/JSONL interchange."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.changes.change import SoftwareChange
+from repro.changes.log import ChangeLog
+from repro.exceptions import ChangeLogError, TelemetryError
+from repro.io.changelog import (change_from_dict, change_to_dict,
+                                read_change_log, write_change_log)
+from repro.io.csvio import (read_matrix, read_series, write_matrix,
+                            write_series)
+from repro.telemetry.timeseries import TimeSeries
+from repro.types import ChangeKind
+
+
+class TestSeriesCsv:
+    def test_roundtrip(self, tmp_path):
+        series = TimeSeries(600, 60, [1.5, 2.5, 3.5])
+        path = tmp_path / "s.csv"
+        write_series(series, path)
+        loaded = read_series(path)
+        assert loaded.start == 600
+        assert loaded.bin_seconds == 60
+        np.testing.assert_array_equal(loaded.values, series.values)
+
+    def test_roundtrip_via_buffers(self):
+        series = TimeSeries(0, 30, np.linspace(0, 1, 10))
+        buffer = io.StringIO()
+        write_series(series, buffer)
+        buffer.seek(0)
+        loaded = read_series(buffer)
+        np.testing.assert_allclose(loaded.values, series.values)
+        assert loaded.bin_seconds == 30
+
+    def test_gap_rejected(self):
+        buffer = io.StringIO("timestamp,value\n0,1.0\n60,2.0\n180,3.0\n")
+        with pytest.raises(TelemetryError):
+            read_series(buffer)
+
+    def test_unsorted_rejected(self):
+        buffer = io.StringIO("timestamp,value\n60,1.0\n0,2.0\n")
+        with pytest.raises(TelemetryError):
+            read_series(buffer)
+
+    def test_non_numeric_rejected(self):
+        buffer = io.StringIO("timestamp,value\n0,1.0\n60,abc\n")
+        with pytest.raises(TelemetryError):
+            read_series(buffer)
+
+    def test_bad_column_count(self):
+        buffer = io.StringIO("timestamp,value\n0,1.0,9\n")
+        with pytest.raises(TelemetryError):
+            read_series(buffer)
+
+    def test_too_short(self):
+        buffer = io.StringIO("timestamp,value\n0,1.0\n")
+        with pytest.raises(TelemetryError):
+            read_series(buffer)
+
+    def test_empty_file(self):
+        with pytest.raises(TelemetryError):
+            read_series(io.StringIO(""))
+
+
+class TestMatrixCsv:
+    def test_roundtrip(self, tmp_path):
+        matrix = np.arange(12.0).reshape(3, 4)
+        path = tmp_path / "m.csv"
+        write_matrix(matrix, ["u1", "u2", "u3"], start=0, bin_seconds=60,
+                     target=path)
+        loaded, units, start, bins = read_matrix(path)
+        np.testing.assert_array_equal(loaded, matrix)
+        assert units == ["u1", "u2", "u3"]
+        assert (start, bins) == (0, 60)
+
+    def test_duplicate_units_rejected(self):
+        buffer = io.StringIO("timestamp,a,a\n0,1,2\n60,3,4\n")
+        with pytest.raises(TelemetryError):
+            read_matrix(buffer)
+
+    def test_ragged_rows_rejected(self):
+        buffer = io.StringIO("timestamp,a,b\n0,1,2\n60,3\n")
+        with pytest.raises(TelemetryError):
+            read_matrix(buffer)
+
+    def test_shape_mismatch_on_write(self):
+        with pytest.raises(TelemetryError):
+            write_matrix(np.zeros((2, 3)), ["only-one"], 0, 60,
+                         io.StringIO())
+
+    def test_values_precise(self):
+        matrix = np.array([[0.1 + 0.2]])          # classic float fun
+        buffer = io.StringIO()
+        write_matrix(matrix, ["u"], 0, 60, buffer)
+        # A single row is below the 2-sample minimum; append one.
+        buffer.seek(0, io.SEEK_END)
+        buffer.write("60,%r\n" % (0.1 + 0.2))
+        buffer.seek(0)
+        loaded, _, _, _ = read_matrix(buffer)
+        assert loaded[0, 0] == 0.1 + 0.2
+
+
+class TestChangeLogJsonl:
+    def _change(self, change_id="c1", at=0):
+        return SoftwareChange(
+            change_id=change_id, kind=ChangeKind.CONFIG_CHANGE,
+            service="svc.a", hostnames=("h1", "h2"), at_time=at,
+            description="turn it off and on again",
+            config_scope="service",
+        )
+
+    def test_dict_roundtrip(self):
+        change = self._change()
+        assert change_from_dict(change_to_dict(change)) == change
+
+    def test_file_roundtrip(self, tmp_path):
+        log = ChangeLog()
+        log.record(self._change("c1", at=0))
+        log.record(self._change("c2", at=7200))
+        path = tmp_path / "changes.jsonl"
+        write_change_log(log, path)
+        loaded = read_change_log(path)
+        assert len(loaded) == 2
+        assert loaded.get("c2").at_time == 7200
+        assert loaded.get("c1").config_scope == "service"
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ChangeLogError):
+            change_from_dict({"change_id": "x"})
+
+    def test_unknown_kind_rejected(self):
+        payload = change_to_dict(self._change())
+        payload["kind"] = "rm -rf"
+        with pytest.raises(ChangeLogError):
+            change_from_dict(payload)
+
+    def test_invalid_json_line(self):
+        buffer = io.StringIO("{not json}\n")
+        with pytest.raises(ChangeLogError):
+            read_change_log(buffer)
+
+    def test_blank_lines_skipped(self):
+        buffer = io.StringIO()
+        log = ChangeLog()
+        log.record(self._change())
+        write_change_log(log, buffer)
+        buffer.write("\n\n")
+        buffer.seek(0)
+        assert len(read_change_log(buffer)) == 1
+
+    def test_guard_applies_on_load(self):
+        buffer = io.StringIO()
+        log = ChangeLog(concurrency_guard_seconds=0)
+        log.record(self._change("c1", at=0))
+        log.record(self._change("c2", at=60))
+        write_change_log(log, buffer)
+        buffer.seek(0)
+        with pytest.raises(ChangeLogError):
+            read_change_log(buffer, concurrency_guard_seconds=3600)

@@ -1,0 +1,89 @@
+"""Tests for KPI quality screening."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.telemetry.quality import QualityReport, assess_quality
+
+
+class TestAssessQuality:
+    def test_clean_series_ok(self, rng):
+        report = assess_quality(rng.normal(size=200))
+        assert report.ok
+        assert report.coverage() == 1.0
+
+    def test_missing_run_flagged(self, rng):
+        x = rng.normal(size=200)
+        x[50:60] = np.nan
+        report = assess_quality(x)
+        assert "missing" in report.kinds
+        issue = [i for i in report.issues if i.kind == "missing"][0]
+        assert (issue.start, issue.end) == (50, 60)
+
+    def test_short_missing_not_flagged(self, rng):
+        x = rng.normal(size=200)
+        x[50] = np.nan
+        report = assess_quality(x, min_missing=3)
+        assert "missing" not in report.kinds
+
+    def test_flatline_flagged(self, rng):
+        x = rng.normal(size=200)
+        x[100:150] = 7.0
+        report = assess_quality(x)
+        assert "flatline" in report.kinds
+        issue = [i for i in report.issues if i.kind == "flatline"][0]
+        assert issue.start == 100 and issue.end == 150
+
+    def test_flatline_threshold(self, rng):
+        x = rng.normal(size=200)
+        x[100:120] = 7.0          # 20 < default 30
+        assert "flatline" not in assess_quality(x).kinds
+        assert "flatline" in assess_quality(x, min_flatline=15).kinds
+
+    def test_quantised_flagged(self):
+        x = np.tile([0.0, 1.0, 2.0], 400)
+        report = assess_quality(x)
+        assert "quantised" in report.kinds
+
+    def test_binary_kpi_quantised(self, rng):
+        x = (rng.random(size=1000) > 0.5).astype(float)
+        assert "quantised" in assess_quality(x).kinds
+
+    def test_short_series_not_quantised(self):
+        assert "quantised" not in assess_quality([1.0, 2.0, 3.0]).kinds
+
+    def test_stale_tail_flagged(self, rng):
+        x = rng.normal(size=200)
+        x[-15:] = x[-15]
+        report = assess_quality(x)
+        assert "stale" in report.kinds
+
+    def test_stale_not_double_flagged_with_flatline(self):
+        x = np.r_[np.random.default_rng(0).normal(size=100),
+                  np.full(60, 3.0)]
+        report = assess_quality(x)
+        assert "flatline" in report.kinds
+        assert "stale" not in report.kinds
+
+    def test_coverage_accounts_for_spans(self, rng):
+        x = rng.normal(size=100)
+        x[0:10] = np.nan
+        report = assess_quality(x)
+        assert report.coverage() == pytest.approx(0.9)
+
+    def test_constant_series_is_flatline(self):
+        report = assess_quality(np.full(100, 5.0))
+        assert "flatline" in report.kinds
+        assert report.coverage() == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            assess_quality([])
+
+    def test_report_kinds_sorted_unique(self, rng):
+        x = rng.normal(size=300)
+        x[10:20] = np.nan
+        x[30:45] = np.nan
+        report = assess_quality(x)
+        assert report.kinds == tuple(sorted(set(report.kinds)))

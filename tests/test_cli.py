@@ -1,0 +1,108 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io.csvio import write_matrix, write_series
+from repro.telemetry.timeseries import TimeSeries
+
+
+@pytest.fixture
+def treated_control_csvs(tmp_path, rng):
+    shared = 50.0 + rng.normal(0, 1.0, size=240)
+    treated = shared + rng.normal(0, 0.5, size=(4, 240))
+    control = shared + rng.normal(0, 0.5, size=(12, 240))
+    treated[:, 120:] += 6.0
+    t_path = tmp_path / "treated.csv"
+    c_path = tmp_path / "control.csv"
+    write_matrix(treated, ["t%d" % i for i in range(4)], 0, 60, t_path)
+    write_matrix(control, ["c%d" % i for i in range(12)], 0, 60, c_path)
+    return str(t_path), str(c_path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--version"])
+        assert "repro" in capsys.readouterr().out
+
+
+class TestDetect:
+    def test_detect_finds_shift(self, tmp_path, rng, capsys):
+        x = 50.0 + rng.normal(0, 0.5, size=240)
+        x[120:] += 5.0
+        path = tmp_path / "series.csv"
+        write_series(TimeSeries(0, 60, x), path)
+        code = main(["detect", str(path), "--change-minute", "120"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["series_bins"] == 240
+        assert payload["changes"]
+        assert payload["changes"][0]["kind"] == "level_shift"
+
+    def test_detect_quiet_series(self, tmp_path, rng, capsys):
+        x = 50.0 + rng.normal(0, 0.5, size=240)
+        path = tmp_path / "series.csv"
+        write_series(TimeSeries(0, 60, x), path)
+        assert main(["detect", str(path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["changes"] == []
+
+    def test_detect_bad_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.csv"
+        path.write_text("timestamp,value\n0,1.0\n0,2.0\n")
+        assert main(["detect", str(path)]) == 1
+        assert "error" in json.loads(capsys.readouterr().err)
+
+
+class TestAssess:
+    def test_assess_attributes_change(self, treated_control_csvs, capsys):
+        t_path, c_path = treated_control_csvs
+        code = main(["assess", t_path, "--control", c_path,
+                     "--change-minute", "120"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verdict"] == "caused_by_change"
+        assert payload["control"] == "peers"
+        assert payload["did_normalised_alpha"] > 1.0
+
+    def test_assess_without_control(self, treated_control_csvs, capsys):
+        t_path, _ = treated_control_csvs
+        assert main(["assess", t_path, "--change-minute", "120"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verdict"] == "caused_by_change"
+        assert "notes" in payload
+
+    def test_omega_option(self, treated_control_csvs, capsys):
+        t_path, c_path = treated_control_csvs
+        assert main(["assess", t_path, "--control", c_path,
+                     "--change-minute", "120", "--omega", "5"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verdict"] == "caused_by_change"
+
+
+class TestGenerateAndCost:
+    def test_generate_then_assess(self, tmp_path, capsys):
+        t_path = str(tmp_path / "t.csv")
+        c_path = str(tmp_path / "c.csv")
+        assert main(["generate", "--out-treated", t_path,
+                     "--out-control", c_path, "--seed", "3"]) == 0
+        capsys.readouterr()
+        assert main(["assess", t_path, "--control", c_path,
+                     "--change-minute", "120"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verdict"] == "caused_by_change"
+
+    def test_cost_reports_all_methods(self, capsys):
+        assert main(["cost", "--seconds", "0.05"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) >= {"funnel", "cusum", "mrls"}
+        for entry in payload.values():
+            assert entry["us_per_window"] > 0

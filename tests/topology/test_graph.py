@@ -1,0 +1,88 @@
+"""Tests for the service-relationship graph."""
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology.graph import ServiceGraph
+
+
+@pytest.fixture
+def fig4_graph():
+    """The paper's Fig. 4 topology: A-B, A-D, B-C."""
+    return ServiceGraph.from_edges([("a", "b"), ("a", "d"), ("b", "c")])
+
+
+class TestConstruction:
+    def test_add_node_idempotent(self):
+        g = ServiceGraph()
+        g.add_node("x")
+        g.add_node("x")
+        assert len(g) == 1
+
+    def test_add_edge_creates_nodes(self):
+        g = ServiceGraph()
+        g.add_edge("a", "b")
+        assert "a" in g and "b" in g
+
+    def test_self_loop_rejected(self):
+        g = ServiceGraph()
+        with pytest.raises(TopologyError):
+            g.add_edge("a", "a")
+
+    def test_remove_edge(self, fig4_graph):
+        fig4_graph.remove_edge("a", "b")
+        assert not fig4_graph.has_edge("a", "b")
+
+    def test_remove_missing_edge_raises(self, fig4_graph):
+        with pytest.raises(TopologyError):
+            fig4_graph.remove_edge("c", "d")
+
+    def test_edges_sorted(self, fig4_graph):
+        assert fig4_graph.edges == [("a", "b"), ("a", "d"), ("b", "c")]
+
+
+class TestQueries:
+    def test_successors_predecessors(self, fig4_graph):
+        assert fig4_graph.successors("a") == {"b", "d"}
+        assert fig4_graph.predecessors("b") == {"a"}
+
+    def test_neighbors_undirected(self, fig4_graph):
+        assert fig4_graph.neighbors("b") == {"a", "c"}
+
+    def test_degree(self, fig4_graph):
+        assert fig4_graph.degree("a") == 2
+        assert fig4_graph.degree("c") == 1
+
+    def test_unknown_node_raises(self, fig4_graph):
+        with pytest.raises(TopologyError):
+            fig4_graph.successors("zzz")
+
+    def test_iteration_and_len(self, fig4_graph):
+        assert sorted(fig4_graph) == ["a", "b", "c", "d"]
+        assert len(fig4_graph) == 4
+
+
+class TestReachability:
+    def test_fig4_affected_services(self, fig4_graph):
+        """A change in A affects B, C and D (paper Fig. 4)."""
+        assert fig4_graph.reachable("a") == {"b", "c", "d"}
+
+    def test_reachable_excludes_start(self, fig4_graph):
+        assert "a" not in fig4_graph.reachable("a")
+
+    def test_directed_reachability(self, fig4_graph):
+        assert fig4_graph.reachable("b", directed=True) == {"c"}
+        assert fig4_graph.reachable("d", directed=True) == set()
+
+    def test_max_hops(self, fig4_graph):
+        assert fig4_graph.reachable("a", max_hops=1) == {"b", "d"}
+        assert fig4_graph.reachable("a", max_hops=2) == {"b", "c", "d"}
+
+    def test_disconnected_components(self):
+        g = ServiceGraph.from_edges([("a", "b"), ("x", "y")])
+        assert g.reachable("a") == {"b"}
+        assert g.connected_component("x") == {"x", "y"}
+
+    def test_cycle_terminates(self):
+        g = ServiceGraph.from_edges([("a", "b"), ("b", "c"), ("c", "a")])
+        assert g.reachable("a") == {"b", "c"}

@@ -1,0 +1,97 @@
+"""Engine throughput: items/sec, serial vs. process-pool execution.
+
+Runs the same synthetic fleet job set through
+:func:`repro.engine.execute_jobs` serially and with 1/2/4 workers, and
+writes ``benchmarks/BENCH_engine.json`` with the measured items/sec per
+configuration (plus the host's usable core count — the speedup a pool
+can deliver is bounded by it, so the scaling assertion only fires when
+the cores are actually there).
+
+Scale with ``REPRO_BENCH_ENGINE_CHANGES`` (changes in the synthetic
+fleet scenario, default 6).  Runnable standalone::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from repro.engine import (EngineConfig, FleetScenarioSpec,
+                          SyntheticFleetSource, execute_jobs,
+                          spec_for_method)
+
+OUT_PATH = pathlib.Path(__file__).parent / "BENCH_engine.json"
+
+WORKER_COUNTS = (0, 1, 2, 4)
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:                        # non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def _fleet_jobs():
+    n_changes = int(os.environ.get("REPRO_BENCH_ENGINE_CHANGES", "6"))
+    source = SyntheticFleetSource(FleetScenarioSpec(
+        n_services=5, n_servers=40, n_changes=n_changes,
+        history_days=1, seed=13))
+    return list(source.plan_jobs([spec_for_method("funnel"),
+                                  spec_for_method("improved_sst")]))
+
+
+def _measure(jobs, workers: int) -> dict:
+    config = EngineConfig(workers=workers, batch_size=8)
+    started = time.perf_counter()
+    results = execute_jobs(jobs, config=config)
+    elapsed = time.perf_counter() - started
+    return {
+        "workers": workers,
+        "jobs": len(results),
+        "seconds": round(elapsed, 4),
+        "items_per_second": round(len(results) / elapsed, 2),
+    }
+
+
+def run_bench() -> dict:
+    jobs = _fleet_jobs()
+    runs = [_measure(jobs, workers) for workers in WORKER_COUNTS]
+    serial = runs[0]["items_per_second"]
+    report = {
+        "cpus": _usable_cpus(),
+        "job_count": len(jobs),
+        "runs": runs,
+        "speedup_vs_serial": {
+            str(r["workers"]): round(r["items_per_second"] / serial, 3)
+            for r in runs[1:]
+        },
+    }
+    OUT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
+def test_engine_throughput(benchmark):
+    report = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+
+    print()
+    print("Engine throughput (%d jobs, %d usable cores):"
+          % (report["job_count"], report["cpus"]))
+    for run in report["runs"]:
+        label = "serial" if run["workers"] == 0 else \
+            "%d workers" % run["workers"]
+        print("  %-10s %8.1f items/s" % (label, run["items_per_second"]))
+
+    for run in report["runs"]:
+        assert run["jobs"] == report["job_count"]
+        assert run["items_per_second"] > 0
+    # Pool scaling needs physical cores; a 1-core container cannot show
+    # it, so the >= 1.5x criterion is asserted only where it can hold.
+    if report["cpus"] >= 4:
+        assert report["speedup_vs_serial"]["4"] >= 1.5
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_bench(), indent=2, sort_keys=True))

@@ -7,7 +7,6 @@ the reproduction corpus: the per-method ROC AUCs must rank the methods
 the same way Table 1's accuracies do on their decisive KPI types.
 """
 
-import numpy as np
 import pytest
 
 from repro.baselines.cusum import CusumDetector

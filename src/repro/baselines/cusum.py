@@ -29,7 +29,7 @@ Fig. 5).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -87,7 +87,7 @@ class CusumDetector:
     threshold plus the bootstrap test and returns declared changes.
     """
 
-    def __init__(self, params: CusumParams = None, seed: int = 0) -> None:
+    def __init__(self, params: Optional[CusumParams] = None, seed: int = 0) -> None:
         self.params = params or CusumParams()
         self._rng = np.random.default_rng(seed)
 

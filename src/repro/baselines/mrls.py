@@ -27,7 +27,7 @@ dozens of full SVDs (Table 2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -99,7 +99,7 @@ def _aggregate(window_values: np.ndarray, scale: int) -> np.ndarray:
 class MrlsDetector:
     """Sliding-window multiscale robust-local-subspace change detector."""
 
-    def __init__(self, params: MrlsParams = None) -> None:
+    def __init__(self, params: Optional[MrlsParams] = None) -> None:
         self.params = params or MrlsParams()
 
     def statistic_for_window(self, window_values: Sequence[float]) -> float:

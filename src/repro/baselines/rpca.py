@@ -18,6 +18,7 @@ shortcut it.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -56,7 +57,7 @@ def _svd_shrink(matrix: np.ndarray, tau: float) -> np.ndarray:
     return (u * s) @ vt
 
 
-def robust_pca(observations: np.ndarray, sparsity: float = None,
+def robust_pca(observations: np.ndarray, sparsity: Optional[float] = None,
                tolerance: float = 1e-7, max_iterations: int = 200,
                strict: bool = False) -> RpcaResult:
     """Inexact-ALM Robust PCA of ``observations``.

@@ -74,7 +74,7 @@ class WeekOverWeekDetector:
     one side declares a change.
     """
 
-    def __init__(self, params: WowParams = None) -> None:
+    def __init__(self, params: Optional[WowParams] = None) -> None:
         self.params = params or WowParams()
 
     def deviations(self, series: Sequence[float]) -> np.ndarray:

@@ -12,7 +12,7 @@ the deployed servers with the service's full deployment.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from ..exceptions import ChangeLogError

@@ -70,7 +70,7 @@ class RolloutPlan:
 
     def to_change(self, service: str, kind: ChangeKind, at_time: int,
                   description: str = "",
-                  config_scope: str = None) -> SoftwareChange:
+                  config_scope: Optional[str] = None) -> SoftwareChange:
         """Materialise the plan as a change-log record."""
         return SoftwareChange(
             change_id=next_change_id(),
@@ -84,7 +84,7 @@ class RolloutPlan:
 
 
 def plan_rollout(hostnames: Sequence[str],
-                 policy: RolloutPolicy = None) -> RolloutPlan:
+                 policy: Optional[RolloutPolicy] = None) -> RolloutPlan:
     """Split a service's servers into treated and control groups.
 
     For Dark launches picks ``ceil(n * treated_fraction)`` servers

@@ -8,6 +8,10 @@ Commands:
 * ``generate`` — write a synthetic treated/control pair to CSV, for
   trying the tool without production data.
 * ``cost``     — measure the Table 2 per-window costs on this machine.
+* ``assess-fleet`` — run the batched assessment engine over a synthetic
+  fleet scenario (changes x impact sets x KPIs) and print the report,
+  including per-stage instrumentation and precision/recall against the
+  scenario's ground truth.
 
 All commands emit JSON on stdout so they compose with shell tooling.
 """
@@ -73,6 +77,28 @@ def build_parser() -> argparse.ArgumentParser:
                           "(Table 2) on this machine")
     cost.add_argument("--seconds", type=float, default=0.5,
                       help="measurement budget per method")
+
+    fleet = sub.add_parser("assess-fleet", help="assess a synthetic fleet "
+                           "scenario through the batched engine")
+    fleet.add_argument("--services", type=int, default=6,
+                       help="services in the generated fleet")
+    fleet.add_argument("--servers", type=int, default=48,
+                       help="servers in the generated fleet")
+    fleet.add_argument("--changes", type=int, default=8,
+                       help="software changes to assess")
+    fleet.add_argument("--impact-fraction", type=float, default=0.5,
+                       help="fraction of changes with genuine impact")
+    fleet.add_argument("--history-days", type=int, default=2,
+                       help="days of lead telemetry (historical control)")
+    fleet.add_argument("--detectors", default="funnel",
+                       help="comma-separated methods "
+                            "(funnel,improved_sst,cusum,mrls,wow)")
+    fleet.add_argument("--workers", type=int, default=0,
+                       help="process-pool size (0 = serial)")
+    fleet.add_argument("--batch-size", type=int, default=16,
+                       help="jobs per executor batch")
+    fleet.add_argument("--seed", type=int, default=7)
+    _add_funnel_options(fleet)
 
     return parser
 
@@ -186,11 +212,47 @@ def _cmd_cost(args: argparse.Namespace) -> dict:
     }
 
 
+def _cmd_assess_fleet(args: argparse.Namespace) -> dict:
+    from .engine import (AssessmentEngine, EngineConfig, FleetScenarioSpec,
+                         SyntheticFleetSource)
+
+    config = FunnelConfig(
+        sst=ImprovedSSTParams(omega=args.omega),
+        did_threshold=args.did_threshold,
+    )
+    source = SyntheticFleetSource(FleetScenarioSpec(
+        n_services=args.services,
+        n_servers=args.servers,
+        n_changes=args.changes,
+        impact_fraction=args.impact_fraction,
+        history_days=args.history_days,
+        seed=args.seed,
+    ))
+    engine = AssessmentEngine(
+        detectors=tuple(name.strip()
+                        for name in args.detectors.split(",") if name.strip()),
+        config=EngineConfig(workers=args.workers,
+                            batch_size=args.batch_size),
+        funnel_config=config,
+    )
+    report = engine.assess_fleet(source)
+    out = report.as_dict()
+    out["scenario"] = {
+        "services": args.services,
+        "servers": args.servers,
+        "changes": args.changes,
+        "detectors": sorted(spec.name for spec in engine.specs),
+        "workers": args.workers,
+    }
+    return out
+
+
 _COMMANDS = {
     "detect": _cmd_detect,
     "assess": _cmd_assess,
     "generate": _cmd_generate,
     "cost": _cmd_cost,
+    "assess-fleet": _cmd_assess_fleet,
 }
 
 

@@ -26,7 +26,7 @@ For one item (software change, entity, KPI) the pipeline:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -92,23 +92,30 @@ class Funnel:
         'caused_by_change'
     """
 
-    def __init__(self, config: FunnelConfig = None) -> None:
+    def __init__(self, config: Optional[FunnelConfig] = None) -> None:
         self.config = config or FunnelConfig()
         self.scorer = IkaSST(self.config.sst)
         self.estimator = DiDEstimator()
 
     # -- detection ------------------------------------------------------------
 
-    def detect(self, series: Sequence[float],
-               change_index: int) -> List[DetectedChange]:
-        """Declared behaviour changes starting at/after ``change_index``."""
+    def detect(self, series: Sequence[float], change_index: int,
+               baseline_stats: Optional[Tuple[float, float]] = None
+               ) -> List[DetectedChange]:
+        """Declared behaviour changes starting at/after ``change_index``.
+
+        ``baseline_stats`` optionally carries the precomputed
+        ``(median, MAD)`` of the pre-change baseline (the engine's
+        per-entity cache) so repeated windows skip the recomputation.
+        """
         x = np.asarray(series, dtype=np.float64)
         if not 0 <= change_index < x.size:
             raise ParameterError(
                 "change_index %d outside series of length %d"
                 % (change_index, x.size)
             )
-        normalised = robust_normalise(x, baseline=max(change_index, 1))
+        normalised = robust_normalise(x, baseline=max(change_index, 1),
+                                      stats=baseline_stats)
         scores = self.scorer.scores(normalised)
         # The score at position t consumes samples through t + 2w - 2,
         # so in deployment it is computable that many bins later — the
@@ -170,7 +177,9 @@ class Funnel:
     # -- full assessment ----------------------------------------------------------
 
     def assess(self, treated, change_index: int, control=None,
-               history=None, first_change_only: bool = True) -> Assessment:
+               history=None, first_change_only: bool = True,
+               baseline_stats: Optional[Tuple[float, float]] = None
+               ) -> Assessment:
         """Assess one item end-to-end (Fig. 3).
 
         Args:
@@ -185,6 +194,8 @@ class Funnel:
                 ``control`` is absent (affected services, Full
                 Launching).
             first_change_only: assess only the earliest declared change.
+            baseline_stats: precomputed baseline ``(median, MAD)``,
+                forwarded to :meth:`detect`.
 
         Returns:
             The :class:`~repro.types.Assessment` with verdict, detection
@@ -192,10 +203,25 @@ class Funnel:
         """
         treated = np.atleast_2d(np.asarray(treated, dtype=np.float64))
         aggregate = treated.mean(axis=0)
-        changes = self.detect(aggregate, change_index)
+        changes = self.detect(aggregate, change_index,
+                              baseline_stats=baseline_stats)
         if not changes:
             return Assessment(verdict=Verdict.NO_CHANGE)
         change = changes[0] if first_change_only else changes[-1]
+        return self.attribute(treated, change, change_index,
+                              control=control, history=history)
+
+    def attribute(self, treated, change: DetectedChange, change_index: int,
+                  control=None, history=None) -> Assessment:
+        """Attribute one detected change (Fig. 3 steps 7-11).
+
+        This is the second half of :meth:`assess`, split out so the
+        engine can time and report detection and attribution as separate
+        stages.  ``treated`` is the same matrix (or single series) that
+        produced ``change``.
+        """
+        treated = np.atleast_2d(np.asarray(treated, dtype=np.float64))
+        aggregate = treated.mean(axis=0)
 
         if control is not None and np.asarray(control).size:
             control = np.atleast_2d(np.asarray(control, dtype=np.float64))

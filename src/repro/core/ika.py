@@ -36,7 +36,7 @@ Two code paths compute the same transform:
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
@@ -68,7 +68,7 @@ class IkaSST:
         True
     """
 
-    def __init__(self, params: ImprovedSSTParams = None) -> None:
+    def __init__(self, params: Optional[ImprovedSSTParams] = None) -> None:
         self.params = params or ImprovedSSTParams()
         self.krylov_k = krylov_dimension(self.params.eta)
 

@@ -8,7 +8,7 @@ are not very robust in the presence of large changes or outliers".
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,7 +37,7 @@ def median(values: Sequence[float]) -> float:
     return float(np.median(arr))
 
 
-def mad(values: Sequence[float], center: float = None) -> float:
+def mad(values: Sequence[float], center: Optional[float] = None) -> float:
     """Median absolute deviation around ``center`` (paper Eq. 12).
 
     Args:

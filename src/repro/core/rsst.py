@@ -33,7 +33,7 @@ normalised series (see :func:`repro.core.scoring.robust_normalise`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -136,7 +136,7 @@ class ImprovedSST:
     invariant asserted by the test suite).
     """
 
-    def __init__(self, params: ImprovedSSTParams = None) -> None:
+    def __init__(self, params: Optional[ImprovedSSTParams] = None) -> None:
         self.params = params or ImprovedSSTParams()
 
     # -- subspace pieces ---------------------------------------------------

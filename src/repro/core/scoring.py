@@ -17,7 +17,7 @@ a change's *start* index (used for detection-delay evaluation, section
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -39,8 +39,9 @@ __all__ = [
 PERSISTENCE_MINUTES = 7
 
 
-def robust_normalise(series: Sequence[float], baseline: int = None,
-                     epsilon: float = 1e-9) -> np.ndarray:
+def robust_normalise(series: Sequence[float], baseline: Optional[int] = None,
+                     epsilon: float = 1e-9,
+                     stats: Optional[Tuple[float, float]] = None) -> np.ndarray:
     """Centre/scale a series by the median/MAD of its baseline prefix.
 
     ``(x - median) / (MAD_TO_SIGMA * MAD + epsilon)`` where the statistics
@@ -48,6 +49,16 @@ def robust_normalise(series: Sequence[float], baseline: int = None,
     period), or the whole series when ``baseline`` is ``None``.  After this
     transform the Eq. 11 gate magnitudes are in robust-sigma units, so one
     fixed declaration threshold works for every KPI.
+
+    Args:
+        series: the KPI samples.
+        baseline: length of the pre-change prefix the statistics cover.
+        epsilon: scale regulariser for constant baselines.
+        stats: precomputed ``(median, MAD)`` of the baseline prefix —
+            pass the cached value (see
+            :class:`repro.engine.cache.BaselineStatsCache`) to skip the
+            recomputation; must equal what ``median_and_mad`` would
+            return on the same prefix.
     """
     x = as_float_array(series)
     if x.size == 0:
@@ -58,12 +69,15 @@ def robust_normalise(series: Sequence[float], baseline: int = None,
         raise ParameterError(
             "baseline must be in [1, %d], got %d" % (x.size, baseline)
         )
-    med, scale = median_and_mad(x[:baseline])
+    if stats is None:
+        med, scale = median_and_mad(x[:baseline])
+    else:
+        med, scale = float(stats[0]), float(stats[1])
     return (x - med) / (MAD_TO_SIGMA * scale + epsilon)
 
 
 def estimate_change_start(series: Sequence[float], detected_at: int,
-                          baseline: int = None,
+                          baseline: Optional[int] = None,
                           threshold_sigmas: float = 3.0) -> int:
     """Estimate the index at which a detected change actually started.
 
@@ -180,7 +194,7 @@ class ChangeDeclarationPolicy:
 
 
 def declare_changes(series: Sequence[float], scores: Sequence[float],
-                    policy: ChangeDeclarationPolicy = None,
+                    policy: Optional[ChangeDeclarationPolicy] = None,
                     first_only: bool = False,
                     lookahead: int = 0) -> List[DetectedChange]:
     """Apply the persistence rule to a scored series.

@@ -20,7 +20,7 @@ fast path lives in :mod:`repro.core.ika`; the robustness improvements in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -110,7 +110,7 @@ class SingularSpectrumTransform:
         True
     """
 
-    def __init__(self, params: SSTParams = None) -> None:
+    def __init__(self, params: Optional[SSTParams] = None) -> None:
         self.params = params or SSTParams.paper_defaults()
 
     def past_subspace(self, series: Sequence[float], t: int) -> np.ndarray:

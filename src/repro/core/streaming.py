@@ -50,7 +50,7 @@ class StreamingDetector:
         True
     """
 
-    def __init__(self, change_index: int, config: FunnelConfig = None,
+    def __init__(self, change_index: int, config: Optional[FunnelConfig] = None,
                  max_history: int = 4096) -> None:
         """Args:
             change_index: stream position of the software change; only

@@ -1,0 +1,49 @@
+"""The fleet-scale assessment engine.
+
+FUNNEL's value in the paper is assessing *every* KPI of a change's
+impact set — 2.2 million KPIs per day at Baidu — within minutes of the
+change.  This package is the shared execution layer that makes the
+reproduction work the same way: instead of three disconnected per-item
+call paths (the evaluation runner's ad-hoc adapters, the CLI, the
+deployment simulation), every assessment is
+
+1. **planned** — a software change plus its impact set (from
+   :mod:`repro.topology.impact`) expands into
+   :class:`~repro.engine.jobs.AssessmentJob` records, one per
+   (entity, KPI, detector);
+2. **executed** — jobs run in configurable batches, serially or across
+   ``concurrent.futures`` process workers, through a single
+   :class:`~repro.engine.jobs.Detector` protocol implemented by FUNNEL,
+   the SST-only ablation and all baselines, with per-entity baseline
+   statistics cached so repeated windows never recompute them; and
+3. **instrumented** — every stage (plan, fetch, detect, attribute)
+   emits counters and wall-clock timings through
+   :mod:`repro.engine.instrument` hooks.
+
+The parallel path is bit-identical to the serial one: each job builds
+its detector from a :class:`~repro.engine.jobs.DetectorSpec` with a
+seed derived from the job identity alone, so results never depend on
+batching, worker count, or scheduling order.
+"""
+
+from .cache import BaselineStatsCache, reset_shared_cache, shared_cache
+from .detectors import (build_detector, detector_names, register_detector,
+                        spec_for_method)
+from .engine import AssessmentEngine, FleetAssessmentReport
+from .executor import EngineConfig, execute_jobs, job_seed, run_job
+from .fleet import FleetScenarioSpec, SyntheticFleetSource
+from .instrument import Instrumentation, add_hook, clear_hooks, remove_hook
+from .jobs import AssessmentJob, Detector, DetectorSpec, ItemOutcome, JobResult
+from .planner import (ENTITY_METRICS, FetchedWindow, job_from_item,
+                      jobs_from_items, plan_change_jobs)
+
+__all__ = [
+    "AssessmentEngine", "AssessmentJob", "BaselineStatsCache",
+    "Detector", "DetectorSpec", "EngineConfig", "ENTITY_METRICS",
+    "FetchedWindow", "FleetAssessmentReport", "FleetScenarioSpec",
+    "Instrumentation", "ItemOutcome", "JobResult", "SyntheticFleetSource",
+    "add_hook", "build_detector", "clear_hooks", "detector_names",
+    "execute_jobs", "job_from_item", "job_seed", "jobs_from_items",
+    "plan_change_jobs", "register_detector", "remove_hook",
+    "reset_shared_cache", "run_job", "shared_cache", "spec_for_method",
+]

@@ -1,0 +1,81 @@
+"""Process-local cache of per-entity pre-change baseline statistics.
+
+FUNNEL normalises every series by the robust median/MAD of its
+pre-change baseline (:func:`repro.core.scoring.robust_normalise`).  When
+the same entity's window is assessed repeatedly — several detectors over
+one impact set, rolling re-assessments, the SST-only ablation next to
+full FUNNEL — those statistics are identical every time.  This cache
+memoises them per ``baseline_key`` so repeated windows never recompute.
+
+The cache is an *optimisation only*: a hit returns exactly what the
+recomputation would (same inputs, same ``median_and_mad`` call), so
+results are bit-identical whether or not a worker process happens to
+have the entry.  That property is what lets each process-pool worker
+keep its own instance without any cross-process coordination.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Tuple
+
+import numpy as np
+
+from ..core.robust import median_and_mad
+
+__all__ = ["BaselineStatsCache", "shared_cache", "reset_shared_cache"]
+
+
+class BaselineStatsCache:
+    """Bounded memo of ``baseline key -> (median, MAD)`` statistics."""
+
+    def __init__(self, max_entries: int = 8192) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._stats: Dict[Hashable, Tuple[float, float]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self, key: Hashable, series: np.ndarray,
+              baseline: int) -> Tuple[float, float]:
+        """Median/MAD of ``series[:baseline]``, memoised under ``key``.
+
+        The caller owns the contract that ``key`` uniquely identifies
+        the baseline *content* — two calls with one key must pass
+        bit-identical prefixes.
+        """
+        cached = self._stats.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        computed = median_and_mad(np.asarray(series,
+                                             dtype=np.float64)[:baseline])
+        if len(self._stats) >= self.max_entries:
+            # Evict the oldest insertion (dicts preserve order).
+            self._stats.pop(next(iter(self._stats)))
+        self._stats[key] = (float(computed[0]), float(computed[1]))
+        return self._stats[key]
+
+    def clear(self) -> None:
+        self._stats.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def info(self) -> dict:
+        """JSON-safe cache statistics."""
+        return {"entries": len(self._stats), "hits": self.hits,
+                "misses": self.misses, "max_entries": self.max_entries}
+
+
+_SHARED = BaselineStatsCache()
+
+
+def shared_cache() -> BaselineStatsCache:
+    """The process-wide cache engine detectors use by default."""
+    return _SHARED
+
+
+def reset_shared_cache() -> None:
+    """Empty the process-wide cache (test isolation helper)."""
+    _SHARED.clear()

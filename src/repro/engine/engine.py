@@ -1,0 +1,142 @@
+"""The engine facade: detectors + executor + instrumentation in one call.
+
+:class:`AssessmentEngine` is what the entry layers use — the CLI's
+``assess-fleet``, the evaluation harness and the deployment simulation
+all converge here.  It normalises method names into
+:class:`~repro.engine.jobs.DetectorSpec` recipes, runs jobs through the
+batched executor, and (for fleet sources) folds the per-job answers into
+a JSON-safe :class:`FleetAssessmentReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .cache import shared_cache
+from .detectors import spec_for_method
+from .executor import EngineConfig, execute_jobs
+from .instrument import Instrumentation
+from .jobs import AssessmentJob, DetectorSpec, JobResult
+
+__all__ = ["AssessmentEngine", "FleetAssessmentReport"]
+
+
+def _rate(numerator: int, denominator: int) -> Optional[float]:
+    """A JSON-safe ratio: ``None`` instead of NaN for empty denominators."""
+    if denominator <= 0:
+        return None
+    return numerator / denominator
+
+
+@dataclass
+class FleetAssessmentReport:
+    """Aggregated outcome of one fleet assessment run.
+
+    Per detector: job/positive counts, verdict distribution, and — for
+    jobs carrying ground truth — confusion counts with precision/recall.
+    """
+
+    jobs: int = 0
+    detectors: Dict[str, dict] = field(default_factory=dict)
+    instrumentation: dict = field(default_factory=dict)
+    cache: dict = field(default_factory=dict)
+    throughput_jobs_per_second: Optional[float] = None
+
+    @classmethod
+    def from_run(cls, jobs: Sequence[AssessmentJob],
+                 results: Sequence[JobResult],
+                 instrumentation: Instrumentation) -> "FleetAssessmentReport":
+        per_detector: Dict[str, dict] = {}
+        for job, result in zip(jobs, results):
+            stats = per_detector.setdefault(result.detector, {
+                "jobs": 0, "positives": 0, "true_positives": 0,
+                "false_positives": 0, "false_negatives": 0,
+                "labelled_jobs": 0, "verdicts": {},
+            })
+            stats["jobs"] += 1
+            if result.positive:
+                stats["positives"] += 1
+            if result.verdict is not None:
+                verdict = result.verdict.value
+                stats["verdicts"][verdict] = \
+                    stats["verdicts"].get(verdict, 0) + 1
+            if job.truth_positive is not None:
+                stats["labelled_jobs"] += 1
+                if result.positive and job.truth_positive:
+                    stats["true_positives"] += 1
+                elif result.positive:
+                    stats["false_positives"] += 1
+                elif job.truth_positive:
+                    stats["false_negatives"] += 1
+        for stats in per_detector.values():
+            stats["precision"] = _rate(
+                stats["true_positives"],
+                stats["true_positives"] + stats["false_positives"])
+            stats["recall"] = _rate(
+                stats["true_positives"],
+                stats["true_positives"] + stats["false_negatives"])
+
+        snapshot = instrumentation.snapshot()
+        execute = snapshot["stages"].get("execute", {})
+        seconds = execute.get("seconds", 0.0)
+        throughput = (len(results) / seconds) if seconds > 0 else None
+        return cls(
+            jobs=len(results),
+            detectors=per_detector,
+            instrumentation=snapshot,
+            cache=shared_cache().info(),
+            throughput_jobs_per_second=throughput,
+        )
+
+    def as_dict(self) -> dict:
+        """The JSON document ``repro assess-fleet`` prints."""
+        return {
+            "jobs": self.jobs,
+            "detectors": self.detectors,
+            "instrumentation": self.instrumentation,
+            "cache": self.cache,
+            "throughput_jobs_per_second": self.throughput_jobs_per_second,
+        }
+
+
+class AssessmentEngine:
+    """One configured engine: detector specs + executor sizing.
+
+    ``detectors`` accepts method names (resolved through
+    :func:`~repro.engine.detectors.spec_for_method` with the given
+    parameter sets) or ready-made :class:`DetectorSpec` objects.
+    """
+
+    def __init__(self,
+                 detectors: Iterable[Union[str, DetectorSpec]] = ("funnel",),
+                 config: Optional[EngineConfig] = None,
+                 funnel_config=None, cusum_params=None, mrls_params=None,
+                 wow_params=None,
+                 instrumentation: Optional[Instrumentation] = None) -> None:
+        self.specs: Tuple[DetectorSpec, ...] = tuple(
+            spec if isinstance(spec, DetectorSpec) else spec_for_method(
+                spec, funnel_config=funnel_config, cusum_params=cusum_params,
+                mrls_params=mrls_params, wow_params=wow_params)
+            for spec in detectors
+        )
+        self.config = config or EngineConfig()
+        self.instrumentation = instrumentation or Instrumentation()
+
+    def run(self, jobs: Iterable[AssessmentJob]) -> List[JobResult]:
+        """Execute a prepared job stream (results in input order)."""
+        return execute_jobs(jobs, config=self.config,
+                            instrumentation=self.instrumentation)
+
+    def assess_fleet(self, source) -> FleetAssessmentReport:
+        """Plan, execute and summarise a fleet source's full job set.
+
+        ``source`` is any object with ``plan_jobs(specs, instrumentation)
+        -> Iterable[AssessmentJob]`` — e.g.
+        :class:`~repro.engine.fleet.SyntheticFleetSource`.
+        """
+        jobs = list(source.plan_jobs(self.specs,
+                                     instrumentation=self.instrumentation))
+        results = self.run(jobs)
+        return FleetAssessmentReport.from_run(jobs, results,
+                                              self.instrumentation)

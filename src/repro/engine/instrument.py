@@ -1,0 +1,122 @@
+"""Counters, stage timings and observer hooks for the assessment engine.
+
+Every engine stage — ``plan`` (impact-set expansion), ``fetch`` (series
+materialisation), ``detect`` (SST/baseline scoring), ``attribute`` (DiD
+comparison) and ``execute`` (whole batched runs) — reports its item
+count and wall-clock duration here.  Two consumption styles:
+
+* **pull** — an :class:`Instrumentation` object accumulates per-stage
+  totals; :meth:`Instrumentation.snapshot` returns a JSON-safe summary
+  (this is what ``repro assess-fleet`` prints);
+* **push** — module-level hooks registered with :func:`add_hook`
+  receive one event dict per stage completion, for live dashboards or
+  test probes.
+
+Hook failures are deliberately not swallowed: a broken observer should
+fail loudly in tests rather than silently drop telemetry.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List
+
+__all__ = ["StageStats", "Instrumentation", "add_hook", "remove_hook",
+           "clear_hooks", "emit"]
+
+Hook = Callable[[dict], None]
+
+_HOOKS: List[Hook] = []
+
+
+def add_hook(hook: Hook) -> Hook:
+    """Register ``hook`` to receive one event dict per engine stage."""
+    _HOOKS.append(hook)
+    return hook
+
+
+def remove_hook(hook: Hook) -> None:
+    """Unregister a hook added with :func:`add_hook` (idempotent)."""
+    if hook in _HOOKS:
+        _HOOKS.remove(hook)
+
+
+def clear_hooks() -> None:
+    """Remove every registered hook (test teardown helper)."""
+    del _HOOKS[:]
+
+
+def emit(event: dict) -> None:
+    """Deliver ``event`` to every registered hook, in registration order."""
+    for hook in tuple(_HOOKS):
+        hook(event)
+
+
+@dataclass
+class StageStats:
+    """Accumulated totals for one engine stage."""
+
+    calls: int = 0
+    items: int = 0
+    seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {"calls": self.calls, "items": self.items,
+                "seconds": round(self.seconds, 6)}
+
+
+class Instrumentation:
+    """Accumulates stage timings and named counters for one engine run.
+
+    Example:
+        >>> inst = Instrumentation()
+        >>> with inst.timed("plan", items=3):
+        ...     pass
+        >>> inst.count("jobs", 3)
+        >>> sorted(inst.snapshot()["stages"])
+        ['plan']
+    """
+
+    def __init__(self) -> None:
+        self.stages: Dict[str, StageStats] = {}
+        self.counters: Dict[str, int] = {}
+
+    # -- recording -----------------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment the counter ``name`` by ``n``."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def add_time(self, stage: str, seconds: float, items: int = 0,
+                 calls: int = 1) -> None:
+        """Record ``seconds`` of wall-clock spent in ``stage``.
+
+        Emits a ``{"kind": "stage", ...}`` event to the registered hooks.
+        """
+        stats = self.stages.setdefault(stage, StageStats())
+        stats.calls += calls
+        stats.items += items
+        stats.seconds += seconds
+        emit({"kind": "stage", "stage": stage, "seconds": seconds,
+              "items": items})
+
+    @contextmanager
+    def timed(self, stage: str, items: int = 0) -> Iterator[None]:
+        """Context manager timing one ``stage`` invocation."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(stage, time.perf_counter() - started, items=items)
+
+    # -- reporting -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-safe summary of every stage and counter recorded so far."""
+        return {
+            "stages": {name: stats.as_dict()
+                       for name, stats in sorted(self.stages.items())},
+            "counters": dict(sorted(self.counters.items())),
+        }

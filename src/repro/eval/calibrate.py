@@ -16,7 +16,7 @@ statistic is 100x more expensive than anyone else's.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -124,7 +124,7 @@ def pick_threshold(sweep: Sequence[Tuple[float, float, float]],
 
 
 def calibrate_baseline(method: str, items: Iterable[EvaluationItem],
-                       thresholds: Sequence[float] = None,
+                       thresholds: Optional[Sequence[float]] = None,
                        stride: int = 1,
                        recall_floor: float = 0.8) -> CalibrationResult:
     """Best-accuracy threshold for ``cusum`` or ``mrls``.

@@ -8,7 +8,7 @@ excluded (it is evaluated separately in section 4.3).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -18,7 +18,7 @@ __all__ = ["DelayDistribution", "ccdf"]
 
 
 def ccdf(delays: Sequence[float],
-         grid: Sequence[float] = None) -> Tuple[np.ndarray, np.ndarray]:
+         grid: Optional[Sequence[float]] = None) -> Tuple[np.ndarray, np.ndarray]:
     """Complementary CDF of ``delays`` over ``grid``.
 
     Returns ``(grid, fraction_exceeding)`` with fractions in percent,
@@ -70,7 +70,7 @@ class DelayDistribution:
             return float("nan")
         return float(np.percentile(self.delays, q))
 
-    def ccdf(self, grid: Sequence[float] = None):
+    def ccdf(self, grid: Optional[Sequence[float]] = None):
         return ccdf(self.delays, grid)
 
     def reduction_vs(self, other: "DelayDistribution") -> float:

@@ -1,9 +1,12 @@
 """The experiment runner: methods x corpus -> Table 1 / Fig. 5 data.
 
-Adapters give every method the same contract — assess one
-:class:`~repro.synthetic.dataset.EvaluationItem` and return whether a
-software-change-induced KPI change was found plus the detection index —
-while preserving what each method is *allowed to see*:
+Every method is evaluated through the assessment engine
+(:mod:`repro.engine`): :func:`make_method` resolves a method name to an
+:class:`EngineMethod` — a callable adapter wrapping a
+:class:`~repro.engine.jobs.DetectorSpec` — and :func:`evaluate_corpus`
+plans one :class:`~repro.engine.jobs.AssessmentJob` per (item, method)
+and runs them through the batched executor, serially or across process
+workers.  The engine preserves what each method is *allowed to see*:
 
 * **funnel** — treated + control/history, full Fig. 3 flow;
 * **improved_sst** — the same detector, no DiD (any post-change
@@ -21,18 +24,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
-import numpy as np
-
-from ..baselines.cusum import CusumDetector, CusumParams
-from ..baselines.mrls import MrlsDetector, MrlsParams
-from ..core.funnel import Funnel, FunnelConfig
-from ..exceptions import EvaluationError
+from ..baselines.cusum import CusumParams
+from ..baselines.mrls import MrlsParams
+from ..core.funnel import FunnelConfig
+from ..engine import (EngineConfig, Instrumentation, ItemOutcome,
+                      execute_jobs, job_from_item, run_job, spec_for_method)
+from ..engine.jobs import AssessmentJob, DetectorSpec
+from ..exceptions import EngineError, EvaluationError
 from ..synthetic.dataset import EvaluationItem
 from ..types import KpiCharacter
 from .confusion import ConfusionMatrix
 from .delay import DelayDistribution
 
-__all__ = ["ItemOutcome", "MethodAdapter", "make_method",
+__all__ = ["ItemOutcome", "MethodAdapter", "EngineMethod", "make_method",
            "EvaluationResult", "evaluate_corpus", "CLEAN_SCALE_FACTOR",
            "METHOD_NAMES"]
 
@@ -41,75 +45,36 @@ CLEAN_SCALE_FACTOR = 86.0
 
 METHOD_NAMES = ("funnel", "improved_sst", "cusum", "mrls")
 
-
-@dataclass(frozen=True)
-class ItemOutcome:
-    """One method's answer for one item."""
-
-    positive: bool
-    detection_index: Optional[int] = None
-
-    def delay(self, truth_start: int) -> Optional[int]:
-        if self.detection_index is None:
-            return None
-        return max(0, self.detection_index - truth_start)
-
-
 MethodAdapter = Callable[[EvaluationItem], ItemOutcome]
 
 
-def _funnel_adapter(config: FunnelConfig = None) -> MethodAdapter:
-    funnel = Funnel(config)
+class EngineMethod:
+    """A method adapter backed by an engine detector spec.
 
-    def assess(item: EvaluationItem) -> ItemOutcome:
-        result = funnel.assess(
-            item.treated, item.change_index,
-            control=item.control, history=item.history,
-        )
-        index = result.change.index if result.change else None
-        return ItemOutcome(positive=result.positive, detection_index=index)
+    Calling it assesses one item exactly as the batched executor would
+    (same per-job detector construction, same seed), so the one-item
+    convenience path and :func:`evaluate_corpus` cannot diverge.
+    """
 
-    return assess
+    def __init__(self, spec: DetectorSpec) -> None:
+        self.spec = spec
+        self.name = spec.name
 
-
-def _improved_sst_adapter(config: FunnelConfig = None) -> MethodAdapter:
-    funnel = Funnel(config)
-
-    def assess(item: EvaluationItem) -> ItemOutcome:
-        changes = funnel.detect(item.treated_aggregate, item.change_index)
-        if not changes:
-            return ItemOutcome(positive=False)
-        return ItemOutcome(positive=True, detection_index=changes[0].index)
-
-    return assess
+    def __call__(self, item: EvaluationItem) -> ItemOutcome:
+        return run_job(job_from_item(item, self.spec)).outcome
 
 
-def _baseline_adapter(detector) -> MethodAdapter:
-    def assess(item: EvaluationItem) -> ItemOutcome:
-        changes = detector.detect(item.treated_aggregate, first_only=False)
-        relevant = [c for c in changes
-                    if c.start_index >= item.change_index - 1]
-        if not relevant:
-            return ItemOutcome(positive=False)
-        return ItemOutcome(positive=True,
-                           detection_index=relevant[0].index)
-
-    return assess
-
-
-def make_method(name: str, funnel_config: FunnelConfig = None,
-                cusum_params: CusumParams = None,
-                mrls_params: MrlsParams = None) -> MethodAdapter:
-    """Build the adapter for one of :data:`METHOD_NAMES`."""
-    if name == "funnel":
-        return _funnel_adapter(funnel_config)
-    if name == "improved_sst":
-        return _improved_sst_adapter(funnel_config)
-    if name == "cusum":
-        return _baseline_adapter(CusumDetector(cusum_params))
-    if name == "mrls":
-        return _baseline_adapter(MrlsDetector(mrls_params))
-    raise EvaluationError("unknown method %r" % name)
+def make_method(name: str, funnel_config: Optional[FunnelConfig] = None,
+                cusum_params: Optional[CusumParams] = None,
+                mrls_params: Optional[MrlsParams] = None) -> EngineMethod:
+    """Build the engine-backed adapter for one of :data:`METHOD_NAMES`."""
+    try:
+        spec = spec_for_method(name, funnel_config=funnel_config,
+                               cusum_params=cusum_params,
+                               mrls_params=mrls_params)
+    except EngineError as exc:
+        raise EvaluationError("unknown method %r" % name) from exc
+    return EngineMethod(spec)
 
 
 @dataclass
@@ -179,9 +144,18 @@ class EvaluationResult:
 def evaluate_corpus(items: Iterable[EvaluationItem],
                     methods: Dict[str, MethodAdapter],
                     mrls_stride: int = 1,
-                    progress: Callable[[int], None] = None
+                    progress: Optional[Callable[[int], None]] = None,
+                    workers: int = 0, batch_size: int = 16,
+                    instrumentation: Optional[Instrumentation] = None
                     ) -> EvaluationResult:
     """Run every method over every item.
+
+    Engine-backed methods (anything :func:`make_method` returns) are
+    planned into assessment jobs and run through
+    :func:`repro.engine.execute_jobs` in chunks — set ``workers`` to
+    fan the corpus out over a process pool, with results bit-identical
+    to the serial default.  Plain callables still work and take the
+    legacy per-item loop.
 
     Args:
         items: the evaluation corpus (streamed).
@@ -191,12 +165,76 @@ def evaluate_corpus(items: Iterable[EvaluationItem],
             sampled counts are scaled back up by ``mrls_stride`` so the
             synthesized rates stay unbiased).  1 = no sampling.
         progress: optional callback invoked with the item counter.
+        workers: engine process-pool size; 0 = serial.
+        batch_size: jobs per engine batch.
+        instrumentation: optional engine instrumentation sink.
     """
     if mrls_stride < 1:
         raise EvaluationError("mrls_stride must be >= 1")
-    result = EvaluationResult()
-    mrls_strata: Dict[Tuple[str, str, str], ConfusionMatrix] = {}
+    engine_backed = methods and all(
+        isinstance(adapter, EngineMethod) for adapter in methods.values())
+    if engine_backed:
+        result = _evaluate_with_engine(
+            items, methods, mrls_stride, progress,
+            EngineConfig(workers=workers, batch_size=batch_size),
+            instrumentation)
+    else:
+        result = _evaluate_legacy(items, methods, mrls_stride, progress)
 
+    if "mrls" in methods and mrls_stride > 1:
+        for key in list(result.strata):
+            if key[0] == "mrls":
+                result.strata[key] = result.strata[key].scaled(mrls_stride)
+    return result
+
+
+def _evaluate_with_engine(items: Iterable[EvaluationItem],
+                          methods: Dict[str, "EngineMethod"],
+                          mrls_stride: int,
+                          progress: Optional[Callable[[int], None]],
+                          config: EngineConfig,
+                          instrumentation: Optional[Instrumentation]
+                          ) -> EvaluationResult:
+    """The engine path: chunked job planning + batched execution."""
+    result = EvaluationResult()
+    chunk_size = config.batch_size * max(config.workers, 1) * 4
+    chunk: List[Tuple[int, EvaluationItem]] = []
+
+    def flush() -> None:
+        jobs: List[AssessmentJob] = []
+        labels: List[Tuple[str, EvaluationItem]] = []
+        for counter, item in chunk:
+            for name, method in methods.items():
+                if name == "mrls" and counter % mrls_stride:
+                    continue
+                jobs.append(job_from_item(item, method.spec))
+                labels.append((name, item))
+        outcomes = execute_jobs(jobs, config=config,
+                                instrumentation=instrumentation)
+        for (name, item), job_result in zip(labels, outcomes):
+            result.record(name, item, job_result.outcome)
+        if progress is not None:
+            for counter, _ in chunk:
+                progress(counter)
+
+    for counter, item in enumerate(items):
+        result.items_evaluated += 1
+        chunk.append((counter, item))
+        if len(chunk) >= chunk_size:
+            flush()
+            chunk = []
+    if chunk:
+        flush()
+    return result
+
+
+def _evaluate_legacy(items: Iterable[EvaluationItem],
+                     methods: Dict[str, MethodAdapter],
+                     mrls_stride: int,
+                     progress: Optional[Callable[[int], None]]
+                     ) -> EvaluationResult:
+    """Per-item loop for plain-callable adapters."""
+    result = EvaluationResult()
     for counter, item in enumerate(items):
         result.items_evaluated += 1
         for name, adapter in methods.items():
@@ -206,9 +244,4 @@ def evaluate_corpus(items: Iterable[EvaluationItem],
             result.record(name, item, outcome)
         if progress is not None:
             progress(counter)
-
-    if "mrls" in methods and mrls_stride > 1:
-        for key in list(result.strata):
-            if key[0] == "mrls":
-                result.strata[key] = result.strata[key].scaled(mrls_stride)
     return result

@@ -54,3 +54,11 @@ class ChangeLogError(ReproError, ValueError):
 
 class EvaluationError(ReproError, ValueError):
     """An evaluation harness invariant was violated."""
+
+
+class EngineError(ReproError, ValueError):
+    """An assessment-engine request is invalid.
+
+    Raised for unknown detector names, malformed executor
+    configurations, or fleet-scenario specs that cannot be planned.
+    """

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import json
 import pathlib
-from typing import List, TextIO, Union
+from typing import TextIO, Union
 
 from ..changes.change import SoftwareChange
 from ..changes.log import ChangeLog

@@ -16,7 +16,6 @@ impact assessments go wrong.
 from __future__ import annotations
 
 import csv
-import io
 import pathlib
 from typing import List, Sequence, TextIO, Tuple, Union
 

@@ -17,7 +17,7 @@ change within ~10 minutes; manual assessment had taken 1.5 hours.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -26,7 +26,7 @@ from ..core.funnel import Funnel, FunnelConfig
 from ..synthetic.effects import LevelShift, TransientDip
 from ..synthetic.patterns import SeasonalPattern, VariablePattern
 from ..telemetry.timeseries import DAY, MINUTE
-from ..types import Assessment, LaunchMode
+from ..types import Assessment
 
 __all__ = ["RedisCaseResult", "redis_case", "AdvertisingCaseResult",
            "advertising_case"]
@@ -52,7 +52,7 @@ def redis_case(n_class_a: int = 8, n_class_b: int = 8,
                n_unaffected_kpis: int = 102, pre_minutes: int = 240,
                post_minutes: int = 240, shift_fraction: float = 0.35,
                seed: int = 42,
-               funnel_config: FunnelConfig = None) -> RedisCaseResult:
+               funnel_config: Optional[FunnelConfig] = None) -> RedisCaseResult:
     """Reproduce the Redis load-balancing case (Fig. 6).
 
     Builds an impact set of ``n_class_a + n_class_b + n_unaffected``
@@ -152,7 +152,7 @@ class AdvertisingCaseResult:
 
 def advertising_case(days_of_context: int = 6, drop_fraction: float = 0.6,
                      outage_minutes: int = 90, seed: int = 7,
-                     funnel_config: FunnelConfig = None
+                     funnel_config: Optional[FunnelConfig] = None
                      ) -> AdvertisingCaseResult:
     """Reproduce the advertising anti-cheat incident (Fig. 7).
 

@@ -16,8 +16,8 @@ simulation build on.  A :class:`ServiceScenario`
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -84,7 +84,7 @@ class ServiceScenario:
     """
 
     def __init__(self, start_time: int = 0, bin_seconds: int = MINUTE,
-                 seed: int = 0, funnel_config: FunnelConfig = None,
+                 seed: int = 0, funnel_config: Optional[FunnelConfig] = None,
                  history_days: int = 0) -> None:
         self.fleet = Fleet()
         self.store = MetricStore(bin_seconds)
@@ -105,7 +105,7 @@ class ServiceScenario:
 
     def add_service(self, name: str, n_servers: int,
                     behaviours: Sequence[KpiBehaviour] = (),
-                    hostnames: Sequence[str] = None) -> List[str]:
+                    hostnames: Optional[Sequence[str]] = None) -> List[str]:
         """Register a service with ``n_servers`` dedicated servers.
 
         Default behaviours (when none are given) are the two standard
@@ -172,8 +172,6 @@ class ServiceScenario:
                     values = shared + offset + noise
                     effects = self._pending_effects.get(key, ())
                     if effects:
-                        bin_of = lambda e: (e.start - from_time) \
-                            // self.bin_seconds
                         local = [self._rebase_effect(e, from_time)
                                  for e in effects]
                         values = apply_effects(values,
@@ -214,10 +212,10 @@ class ServiceScenario:
     # -- changes ------------------------------------------------------------
 
     def deploy_change(self, service: str, kind: ChangeKind,
-                      policy: RolloutPolicy = None,
+                      policy: Optional[RolloutPolicy] = None,
                       effect_sigmas: float = 0.0,
-                      metric: str = None,
-                      effects: Dict[str, Sequence[Effect]] = None,
+                      metric: Optional[str] = None,
+                      effects: Optional[Dict[str, Sequence[Effect]]] = None,
                       description: str = "") -> SoftwareChange:
         """Deploy a change now; optionally inject its KPI impact.
 

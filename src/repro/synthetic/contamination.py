@@ -18,7 +18,7 @@ from typing import Sequence
 import numpy as np
 
 from ..exceptions import ParameterError
-from .effects import Effect, LevelShift, Spike, apply_effects
+from .effects import Spike, apply_effects
 
 __all__ = ["ContaminationConfig", "contaminate_baseline",
            "contaminate_history_panel"]

@@ -46,7 +46,7 @@ from .contamination import ContaminationConfig, contaminate_history_panel
 from .effects import Effect, LevelShift, Ramp
 from .patterns import (Pattern, SeasonalPattern, StationaryPattern,
                        VariablePattern)
-from .workload import GroupTraceConfig, GroupTraces, generate_group
+from .workload import GroupTraceConfig, generate_group
 
 __all__ = ["ItemTruth", "EvaluationItem", "CorpusSpec", "EvaluationCorpus"]
 
@@ -200,7 +200,7 @@ class EvaluationCorpus:
         True
     """
 
-    def __init__(self, spec: CorpusSpec = None) -> None:
+    def __init__(self, spec: Optional[CorpusSpec] = None) -> None:
         self.spec = spec or CorpusSpec()
 
     # -- composition ------------------------------------------------------------

@@ -17,7 +17,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..changes.change import SoftwareChange, next_change_id
+from ..changes.change import SoftwareChange
 from ..changes.log import ChangeLog
 from ..changes.rollout import RolloutPolicy, plan_rollout
 from ..exceptions import ParameterError
@@ -72,7 +72,7 @@ def _service_names(n: int, rng: np.random.Generator) -> List[str]:
     return names[:n]
 
 
-def generate_fleet(spec: FleetSpec = None) -> Fleet:
+def generate_fleet(spec: Optional[FleetSpec] = None) -> Fleet:
     """Generate a fleet with the section 4.1 shape.
 
     Server counts per service follow a skewed (geometric-ish) split so a
@@ -138,7 +138,7 @@ class ChangeWorkloadSpec:
 
 
 def generate_change_workload(fleet: Fleet,
-                             spec: ChangeWorkloadSpec = None,
+                             spec: Optional[ChangeWorkloadSpec] = None,
                              guard_seconds: int = 3600
                              ) -> Tuple[ChangeLog, List[SoftwareChange]]:
     """Generate one day of software changes against ``fleet``.

@@ -27,7 +27,7 @@ from typing import Sequence
 import numpy as np
 
 from ..exceptions import ParameterError
-from ..telemetry.timeseries import DAY, MINUTE
+from ..telemetry.timeseries import DAY
 from ..types import KpiCharacter
 
 __all__ = [

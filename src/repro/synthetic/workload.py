@@ -11,16 +11,15 @@ applied to treated units only and other-factor events applied to all.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple
 
 import numpy as np
 
 from ..exceptions import ParameterError
 from ..telemetry.timeseries import MINUTE
-from ..types import KpiCharacter
 from .effects import Effect, apply_effects
-from .patterns import Pattern, pattern_for_character
+from .patterns import Pattern
 
 __all__ = ["GroupTraceConfig", "GroupTraces", "generate_group"]
 

@@ -12,7 +12,7 @@ collection interval with sub-second delivery.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List
 
 import numpy as np
 

@@ -8,7 +8,7 @@ delay, utilisation) by mean.  The aggregation rule lives on the
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, Sequence
 
 import numpy as np
 

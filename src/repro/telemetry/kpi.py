@@ -120,7 +120,7 @@ class KpiCatalog:
         )
 
 
-def standard_server_kpis(catalog: KpiCatalog = None) -> KpiCatalog:
+def standard_server_kpis(catalog: Optional[KpiCatalog] = None) -> KpiCatalog:
     """Register the server KPIs the paper's evaluation uses (section 4.1).
 
     "We used the CPU context switch count and the memory utilization as

@@ -15,7 +15,6 @@ pipeline registers one subscription per impact set).
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional
 

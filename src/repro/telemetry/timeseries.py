@@ -13,7 +13,7 @@ simulation time, not wall-clock time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -163,7 +163,7 @@ class TimeSeries:
 
 def bin_events(event_times: Iterable[int], start: int, end: int,
                bin_seconds: int = MINUTE,
-               weights: Sequence[float] = None) -> TimeSeries:
+               weights: Optional[Sequence[float]] = None) -> TimeSeries:
     """Divide an event stream into equal time-bins (paper section 3.1).
 
     Args:

@@ -12,7 +12,7 @@ treat the graph as undirected unless asked otherwise.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, Iterator, List, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from ..exceptions import TopologyError
 
@@ -97,7 +97,7 @@ class ServiceGraph:
     # -- traversals ------------------------------------------------------------
 
     def reachable(self, start: str, directed: bool = False,
-                  max_hops: int = None) -> Set[str]:
+                  max_hops: Optional[int] = None) -> Set[str]:
         """Every node reachable from ``start``, excluding ``start`` itself.
 
         Args:

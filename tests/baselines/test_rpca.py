@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.baselines.rpca import RpcaResult, robust_pca
+from repro.baselines.rpca import robust_pca
 from repro.exceptions import ConvergenceError, ParameterError
 
 

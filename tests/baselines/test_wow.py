@@ -6,7 +6,7 @@ import pytest
 from repro.baselines.wow import WeekOverWeekDetector, WowParams
 from repro.exceptions import InsufficientDataError, ParameterError
 from repro.synthetic.patterns import SeasonalPattern
-from repro.telemetry.timeseries import DAY, MINUTE
+from repro.telemetry.timeseries import MINUTE
 
 
 def daily_params(**kwargs):

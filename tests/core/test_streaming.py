@@ -1,9 +1,8 @@
 """Tests for the online (streaming) detector and assessor."""
 
-import numpy as np
 import pytest
 
-from repro.core.funnel import Funnel, FunnelConfig
+from repro.core.funnel import Funnel
 from repro.core.streaming import StreamingAssessor, StreamingDetector
 from repro.exceptions import ParameterError
 from repro.types import Verdict

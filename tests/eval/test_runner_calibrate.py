@@ -1,6 +1,5 @@
 """Tests for the experiment runner and threshold calibration."""
 
-import numpy as np
 import pytest
 
 from repro.eval.calibrate import (ItemStatistic, calibrate_baseline,
@@ -8,8 +7,7 @@ from repro.eval.calibrate import (ItemStatistic, calibrate_baseline,
                                   sweep_threshold)
 from repro.eval.confusion import ConfusionMatrix
 from repro.eval.runner import (CLEAN_SCALE_FACTOR, METHOD_NAMES,
-                               EvaluationResult, ItemOutcome,
-                               evaluate_corpus, make_method)
+                               ItemOutcome, evaluate_corpus, make_method)
 from repro.exceptions import EvaluationError
 from repro.synthetic.dataset import CorpusSpec, EvaluationCorpus
 

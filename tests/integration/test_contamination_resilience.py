@@ -8,7 +8,6 @@ check both mechanisms.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.did import DiDEstimator, DiDPanel
 from repro.core.funnel import Funnel

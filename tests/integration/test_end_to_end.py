@@ -1,7 +1,6 @@
 """Cross-module integration tests: topology -> telemetry -> changes ->
 detection -> attribution, exercised together."""
 
-import numpy as np
 import pytest
 
 from repro.changes.rollout import RolloutPolicy, plan_rollout
@@ -12,7 +11,7 @@ from repro.simulation import ServiceScenario
 from repro.synthetic import CorpusSpec, EvaluationCorpus
 from repro.telemetry.kpi import KpiKey
 from repro.topology.impact import identify_impact_set
-from repro.types import ChangeKind, LaunchMode, Verdict
+from repro.types import ChangeKind, Verdict
 
 
 class TestFleetToFunnel:

@@ -1,6 +1,5 @@
 """Tests for the simulation substrate and case studies."""
 
-import numpy as np
 import pytest
 
 from repro.changes.rollout import RolloutPolicy

@@ -1,6 +1,5 @@
 """Tests for fleet and change-workload generation."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import ParameterError

@@ -5,10 +5,10 @@ import pytest
 
 from repro.exceptions import ParameterError
 from repro.synthetic.dataset import (CorpusSpec, EvaluationCorpus,
-                                     EvaluationItem, ItemTruth)
+                                     ItemTruth)
 from repro.synthetic.effects import LevelShift
 from repro.synthetic.patterns import StationaryPattern
-from repro.synthetic.workload import (GroupTraceConfig, GroupTraces,
+from repro.synthetic.workload import (GroupTraceConfig,
                                       generate_group)
 from repro.types import KpiCharacter, LaunchMode
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.exceptions import ParameterError
-from repro.telemetry.quality import QualityReport, assess_quality
+from repro.telemetry.quality import assess_quality
 
 
 class TestAssessQuality:

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.exceptions import ParameterError, TelemetryError
-from repro.telemetry.timeseries import DAY, MINUTE, TimeSeries, bin_events
+from repro.telemetry.timeseries import TimeSeries, bin_events
 
 
 class TestTimeSeries:

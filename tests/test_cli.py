@@ -2,7 +2,6 @@
 
 import json
 
-import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
@@ -106,3 +105,83 @@ class TestGenerateAndCost:
         assert set(payload) >= {"funnel", "cusum", "mrls"}
         for entry in payload.values():
             assert entry["us_per_window"] > 0
+
+
+def _strip_timings(payload):
+    """Drop wall-clock-dependent values so JSON documents compare stably."""
+    if isinstance(payload, dict):
+        return {key: _strip_timings(value)
+                for key, value in payload.items()
+                if key not in ("seconds", "throughput_jobs_per_second")}
+    if isinstance(payload, list):
+        return [_strip_timings(value) for value in payload]
+    return payload
+
+
+_FLEET_ARGS = ["assess-fleet", "--services", "4", "--servers", "20",
+               "--changes", "3", "--history-days", "1", "--seed", "3"]
+
+
+class TestAssessFleet:
+    def test_report_structure(self, capsys):
+        assert main(_FLEET_ARGS + ["--detectors", "funnel,improved_sst"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["jobs"] > 0
+        assert set(payload["detectors"]) == {"funnel", "improved_sst"}
+        funnel = payload["detectors"]["funnel"]
+        assert funnel["jobs"] == funnel["labelled_jobs"]
+        assert 0.0 <= funnel["precision"] <= 1.0
+        assert 0.0 <= funnel["recall"] <= 1.0
+        stages = payload["instrumentation"]["stages"]
+        for stage in ("plan", "fetch", "detect", "execute"):
+            assert stage in stages
+        assert payload["scenario"]["changes"] == 3
+
+    def test_golden_json_round_trip(self, capsys):
+        """Two runs (one parallel) print the same JSON, timings aside."""
+        assert main(list(_FLEET_ARGS)) == 0
+        first = capsys.readouterr().out
+        assert main(_FLEET_ARGS + ["--workers", "2", "--batch-size", "4"]) == 0
+        second = capsys.readouterr().out
+        a, b = json.loads(first), json.loads(second)
+        a["scenario"].pop("workers"), b["scenario"].pop("workers")
+        # Cache counters differ between serial/parallel processes
+        # (workers warm their own caches); everything else must match.
+        a.pop("cache"), b.pop("cache")
+        assert _strip_timings(a) == _strip_timings(b)
+        # Round-trip: parse -> dump -> parse is lossless.
+        assert json.loads(json.dumps(a, sort_keys=True)) == a
+
+    def test_unknown_detector_errors(self, capsys):
+        assert main(_FLEET_ARGS + ["--detectors", "prophet"]) == 1
+        assert "error" in json.loads(capsys.readouterr().err)
+
+
+class TestGoldenJson:
+    """detect/assess emit stable, round-trippable JSON documents."""
+
+    def test_detect_golden_round_trip(self, tmp_path, rng, capsys):
+        x = 50.0 + rng.normal(0, 0.5, size=240)
+        x[120:] += 5.0
+        path = tmp_path / "series.csv"
+        write_series(TimeSeries(0, 60, x), path)
+        args = ["detect", str(path), "--change-minute", "120"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        payload = json.loads(first)
+        assert json.dumps(payload, indent=2, sort_keys=True) + "\n" == first
+
+    def test_assess_golden_round_trip(self, treated_control_csvs, capsys):
+        t_path, c_path = treated_control_csvs
+        args = ["assess", t_path, "--control", c_path,
+                "--change-minute", "120"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        payload = json.loads(first)
+        assert json.dumps(payload, indent=2, sort_keys=True) + "\n" == first

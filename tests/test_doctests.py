@@ -14,6 +14,7 @@ import repro.core.ika
 import repro.core.scoring
 import repro.core.sst
 import repro.core.streaming
+import repro.engine.instrument
 import repro.simulation.clock
 import repro.simulation.scenario
 import repro.telemetry.agent
@@ -28,6 +29,7 @@ MODULES = [
     repro.core.scoring,
     repro.core.sst,
     repro.core.streaming,
+    repro.engine.instrument,
     repro.simulation.clock,
     repro.simulation.scenario,
     repro.telemetry.agent,

@@ -1,0 +1,117 @@
+"""Observability overhead: engine throughput with obs off vs. on.
+
+Runs the same synthetic fleet job set through
+:func:`repro.engine.execute_jobs` with no observability attached and
+with a full :class:`repro.obs.ObsContext` (spans, metrics, worker
+telemetry channel), serially — the serial path pays the channel on
+every batch, so it upper-bounds the per-job cost.  Each mode is
+measured ``ROUNDS`` times and the best (minimum) wall-clock per mode is
+compared, which filters scheduler noise the way timeit does.  Writes
+``benchmarks/BENCH_obs.json``; the acceptance target is <5% overhead.
+
+Scale with ``REPRO_BENCH_OBS_CHANGES`` (changes in the synthetic fleet
+scenario, default 6).  Runnable standalone::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from repro.engine import (EngineConfig, FleetScenarioSpec,
+                          SyntheticFleetSource, execute_jobs,
+                          reset_shared_cache, spec_for_method)
+from repro.obs import ObsContext
+
+OUT_PATH = pathlib.Path(__file__).parent / "BENCH_obs.json"
+
+ROUNDS = 3
+OVERHEAD_BUDGET = 0.05
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:                        # non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def _fleet_jobs():
+    n_changes = int(os.environ.get("REPRO_BENCH_OBS_CHANGES", "6"))
+    source = SyntheticFleetSource(FleetScenarioSpec(
+        n_services=5, n_servers=40, n_changes=n_changes,
+        history_days=1, seed=13))
+    return list(source.plan_jobs([spec_for_method("funnel"),
+                                  spec_for_method("improved_sst")]))
+
+
+def _one_round(jobs, config, observed: bool):
+    reset_shared_cache()
+    obs = ObsContext() if observed else None
+    started = time.perf_counter()
+    results = execute_jobs(jobs, config=config, obs=obs)
+    elapsed = time.perf_counter() - started
+    return elapsed, len(results), (obs.span_count if obs else 0)
+
+
+def _measure(jobs):
+    """Both modes, rounds interleaved so clock drift (CPU warm-up,
+    frequency scaling) hits them equally; best-of per mode."""
+    config = EngineConfig(workers=0, batch_size=8)
+    _one_round(jobs, config, observed=True)       # shared warm-up
+    best = {False: float("inf"), True: float("inf")}
+    span_count = 0
+    n_jobs = 0
+    for _ in range(ROUNDS):
+        for observed in (False, True):
+            elapsed, n_jobs, spans = _one_round(jobs, config, observed)
+            best[observed] = min(best[observed], elapsed)
+            span_count = max(span_count, spans)
+    return [{
+        "observed": observed,
+        "jobs": n_jobs,
+        "rounds": ROUNDS,
+        "best_seconds": round(best[observed], 4),
+        "items_per_second": round(n_jobs / best[observed], 2),
+        "span_count": span_count if observed else 0,
+    } for observed in (False, True)]
+
+
+def run_bench() -> dict:
+    jobs = _fleet_jobs()
+    baseline, observed = _measure(jobs)
+    overhead = (observed["best_seconds"] / baseline["best_seconds"]) - 1.0
+    report = {
+        "cpus": _usable_cpus(),
+        "job_count": len(jobs),
+        "baseline": baseline,
+        "observed": observed,
+        "overhead_fraction": round(overhead, 4),
+        "overhead_budget": OVERHEAD_BUDGET,
+    }
+    OUT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
+def test_obs_overhead(benchmark):
+    report = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+
+    print()
+    print("Observability overhead (%d jobs, serial, best of %d):"
+          % (report["job_count"], ROUNDS))
+    print("  obs off  %8.1f items/s" %
+          report["baseline"]["items_per_second"])
+    print("  obs on   %8.1f items/s  (%d spans)" %
+          (report["observed"]["items_per_second"],
+           report["observed"]["span_count"]))
+    print("  overhead %+7.2f%%" % (100 * report["overhead_fraction"]))
+
+    assert report["baseline"]["jobs"] == report["job_count"]
+    assert report["observed"]["span_count"] > report["job_count"]
+    assert report["overhead_fraction"] < OVERHEAD_BUDGET
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_bench(), indent=2, sort_keys=True))

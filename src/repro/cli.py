@@ -11,9 +11,15 @@ Commands:
 * ``assess-fleet`` — run the batched assessment engine over a synthetic
   fleet scenario (changes x impact sets x KPIs) and print the report,
   including per-stage instrumentation and precision/recall against the
-  scenario's ground truth.
+  scenario's ground truth.  With ``--obs-dir <d>`` the run also records
+  structured observability artifacts (``events.jsonl`` + ``run.json``).
+* ``obs report`` — profile a recorded ``--obs-dir`` run: per-stage /
+  per-detector time breakdown (self vs. child time, slowest jobs) as an
+  ASCII table, optionally exporting flamegraph ``folded`` stacks.
 
-All commands emit JSON on stdout so they compose with shell tooling.
+All commands emit JSON on stdout so they compose with shell tooling —
+except ``obs report``, whose default output is the human-readable
+table (pass ``--json`` for a machine-readable profile).
 """
 
 from __future__ import annotations
@@ -98,7 +104,22 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--batch-size", type=int, default=16,
                        help="jobs per executor batch")
     fleet.add_argument("--seed", type=int, default=7)
+    fleet.add_argument("--obs-dir",
+                       help="directory to write run artifacts "
+                            "(events.jsonl + run.json) into")
     _add_funnel_options(fleet)
+
+    obs = sub.add_parser("obs", help="observability tooling")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    report = obs_sub.add_parser(
+        "report", help="profile a recorded --obs-dir run")
+    report.add_argument("obs_dir", help="directory written by --obs-dir")
+    report.add_argument("--top", type=int, default=10,
+                        help="slowest jobs to list")
+    report.add_argument("--folded",
+                        help="also write flamegraph folded stacks here")
+    report.add_argument("--json", action="store_true",
+                        help="emit the profile as JSON instead of a table")
 
     return parser
 
@@ -215,11 +236,21 @@ def _cmd_cost(args: argparse.Namespace) -> dict:
 def _cmd_assess_fleet(args: argparse.Namespace) -> dict:
     from .engine import (AssessmentEngine, EngineConfig, FleetScenarioSpec,
                          SyntheticFleetSource)
+    from .obs import ObsContext, write_run_artifacts
 
     config = FunnelConfig(
         sst=ImprovedSSTParams(omega=args.omega),
         did_threshold=args.did_threshold,
     )
+    scenario = {
+        "services": args.services,
+        "servers": args.servers,
+        "changes": args.changes,
+        "impact_fraction": args.impact_fraction,
+        "history_days": args.history_days,
+        "workers": args.workers,
+        "batch_size": args.batch_size,
+    }
     source = SyntheticFleetSource(FleetScenarioSpec(
         n_services=args.services,
         n_servers=args.servers,
@@ -228,12 +259,14 @@ def _cmd_assess_fleet(args: argparse.Namespace) -> dict:
         history_days=args.history_days,
         seed=args.seed,
     ))
+    obs = ObsContext() if args.obs_dir else None
     engine = AssessmentEngine(
         detectors=tuple(name.strip()
                         for name in args.detectors.split(",") if name.strip()),
         config=EngineConfig(workers=args.workers,
                             batch_size=args.batch_size),
         funnel_config=config,
+        obs=obs,
     )
     report = engine.assess_fleet(source)
     out = report.as_dict()
@@ -244,7 +277,48 @@ def _cmd_assess_fleet(args: argparse.Namespace) -> dict:
         "detectors": sorted(spec.name for spec in engine.specs),
         "workers": args.workers,
     }
+    if obs is not None:
+        written = write_run_artifacts(
+            args.obs_dir, obs,
+            config=dict(scenario,
+                        detectors=sorted(s.name for s in engine.specs),
+                        omega=args.omega,
+                        did_threshold=args.did_threshold),
+            seeds={"scenario": args.seed},
+            stages=report.instrumentation.get("stages", {}),
+        )
+        out["obs"] = dict(out.get("obs", {}), **written)
     return out
+
+
+def _cmd_obs(args: argparse.Namespace):
+    from .obs import build_profile, folded_stacks, load_run, render_table
+
+    run = load_run(args.obs_dir)
+    profile = build_profile(run.spans, top_jobs=args.top)
+    if args.folded:
+        lines = folded_stacks(profile)
+        with open(args.folded, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + ("\n" if lines else ""))
+    if args.json:
+        doc = {
+            "run_id": run.run_id,
+            "span_count": profile.span_count,
+            "paths": [stats.as_dict() for stats in profile.paths],
+            "detectors": profile.detectors,
+            "slowest_jobs": profile.slowest_jobs,
+        }
+        if args.folded:
+            doc["folded"] = args.folded
+        return doc
+    header = "Run %s" % run.run_id
+    rev = run.manifest.get("git_rev")
+    if rev:
+        header += " (git %s)" % str(rev)[:12]
+    text = header + "\n\n" + render_table(profile)
+    if args.folded:
+        text += "\nFolded stacks written to %s\n" % args.folded
+    return text
 
 
 _COMMANDS = {
@@ -253,6 +327,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "cost": _cmd_cost,
     "assess-fleet": _cmd_assess_fleet,
+    "obs": _cmd_obs,
 }
 
 
@@ -264,7 +339,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as exc:
         print(json.dumps({"error": str(exc)}), file=sys.stderr)
         return 1
-    print(json.dumps(result, indent=2, sort_keys=True))
+    except FileNotFoundError as exc:
+        print(json.dumps({"error": str(exc)}), file=sys.stderr)
+        return 1
+    if isinstance(result, str):
+        print(result, end="" if result.endswith("\n") else "\n")
+    else:
+        print(json.dumps(result, indent=2, sort_keys=True))
     return 0
 
 

@@ -18,7 +18,10 @@ deployment simulation), every assessment is
    statistics cached so repeated windows never recompute them; and
 3. **instrumented** — every stage (plan, fetch, detect, attribute)
    emits counters and wall-clock timings through
-   :mod:`repro.engine.instrument` hooks.
+   :mod:`repro.engine.instrument` hooks, and — when an
+   :class:`~repro.obs.ObsContext` is attached — structured spans and
+   metrics through :mod:`repro.obs`, with worker-side telemetry
+   serialized back across the process-pool boundary.
 
 The parallel path is bit-identical to the serial one: each job builds
 its detector from a :class:`~repro.engine.jobs.DetectorSpec` with a
@@ -26,6 +29,7 @@ seed derived from the job identity alone, so results never depend on
 batching, worker count, or scheduling order.
 """
 
+from ..obs import ObsContext
 from .cache import BaselineStatsCache, reset_shared_cache, shared_cache
 from .detectors import (build_detector, detector_names, register_detector,
                         spec_for_method)
@@ -41,7 +45,8 @@ __all__ = [
     "AssessmentEngine", "AssessmentJob", "BaselineStatsCache",
     "Detector", "DetectorSpec", "EngineConfig", "ENTITY_METRICS",
     "FetchedWindow", "FleetAssessmentReport", "FleetScenarioSpec",
-    "Instrumentation", "ItemOutcome", "JobResult", "SyntheticFleetSource",
+    "Instrumentation", "ItemOutcome", "JobResult", "ObsContext",
+    "SyntheticFleetSource",
     "add_hook", "build_detector", "clear_hooks", "detector_names",
     "execute_jobs", "job_from_item", "job_seed", "jobs_from_items",
     "plan_change_jobs", "register_detector", "remove_hook",

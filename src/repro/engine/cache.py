@@ -62,6 +62,14 @@ class BaselineStatsCache:
         self.hits = 0
         self.misses = 0
 
+    def counters(self) -> Tuple[int, int]:
+        """Current ``(hits, misses)`` — snapshot before a batch, diff
+        after, and you have the batch's cache traffic.  This is how the
+        executor's worker-telemetry channel reports cache metrics from
+        pool workers, whose process-local caches the parent can never
+        inspect directly."""
+        return self.hits, self.misses
+
     def info(self) -> dict:
         """JSON-safe cache statistics."""
         return {"entries": len(self._stats), "hits": self.hits,

@@ -10,9 +10,11 @@ a JSON-safe :class:`FleetAssessmentReport`.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from ..obs import ObsContext
 from .cache import shared_cache
 from .detectors import spec_for_method
 from .executor import EngineConfig, execute_jobs
@@ -42,6 +44,7 @@ class FleetAssessmentReport:
     instrumentation: dict = field(default_factory=dict)
     cache: dict = field(default_factory=dict)
     throughput_jobs_per_second: Optional[float] = None
+    obs: Optional[dict] = None
 
     @classmethod
     def from_run(cls, jobs: Sequence[AssessmentJob],
@@ -81,23 +84,32 @@ class FleetAssessmentReport:
         execute = snapshot["stages"].get("execute", {})
         seconds = execute.get("seconds", 0.0)
         throughput = (len(results) / seconds) if seconds > 0 else None
+        obs_summary = None
+        if instrumentation.obs is not None and instrumentation.obs.enabled:
+            ctx = instrumentation.obs
+            obs_summary = {"trace_id": ctx.tracer.trace_id,
+                           "span_count": ctx.span_count}
         return cls(
             jobs=len(results),
             detectors=per_detector,
             instrumentation=snapshot,
             cache=shared_cache().info(),
             throughput_jobs_per_second=throughput,
+            obs=obs_summary,
         )
 
     def as_dict(self) -> dict:
         """The JSON document ``repro assess-fleet`` prints."""
-        return {
+        doc = {
             "jobs": self.jobs,
             "detectors": self.detectors,
             "instrumentation": self.instrumentation,
             "cache": self.cache,
             "throughput_jobs_per_second": self.throughput_jobs_per_second,
         }
+        if self.obs is not None:
+            doc["obs"] = self.obs
+        return doc
 
 
 class AssessmentEngine:
@@ -113,7 +125,8 @@ class AssessmentEngine:
                  config: Optional[EngineConfig] = None,
                  funnel_config=None, cusum_params=None, mrls_params=None,
                  wow_params=None,
-                 instrumentation: Optional[Instrumentation] = None) -> None:
+                 instrumentation: Optional[Instrumentation] = None,
+                 obs: Optional[ObsContext] = None) -> None:
         self.specs: Tuple[DetectorSpec, ...] = tuple(
             spec if isinstance(spec, DetectorSpec) else spec_for_method(
                 spec, funnel_config=funnel_config, cusum_params=cusum_params,
@@ -121,12 +134,16 @@ class AssessmentEngine:
             for spec in detectors
         )
         self.config = config or EngineConfig()
-        self.instrumentation = instrumentation or Instrumentation()
+        self.instrumentation = instrumentation or Instrumentation(obs=obs)
+        if obs is not None and self.instrumentation.obs is None:
+            self.instrumentation.obs = obs
+        self.obs = self.instrumentation.obs
 
     def run(self, jobs: Iterable[AssessmentJob]) -> List[JobResult]:
         """Execute a prepared job stream (results in input order)."""
         return execute_jobs(jobs, config=self.config,
-                            instrumentation=self.instrumentation)
+                            instrumentation=self.instrumentation,
+                            obs=self.obs)
 
     def assess_fleet(self, source) -> FleetAssessmentReport:
         """Plan, execute and summarise a fleet source's full job set.
@@ -134,9 +151,17 @@ class AssessmentEngine:
         ``source`` is any object with ``plan_jobs(specs, instrumentation)
         -> Iterable[AssessmentJob]`` — e.g.
         :class:`~repro.engine.fleet.SyntheticFleetSource`.
+
+        With an observability context attached, the whole run lives
+        under one ``assess_fleet`` root span: planning and fetching
+        spans from the planner, then the executor's span tree.
         """
-        jobs = list(source.plan_jobs(self.specs,
-                                     instrumentation=self.instrumentation))
-        results = self.run(jobs)
+        observed = self.obs is not None and self.obs.enabled
+        root = (self.obs.tracer.span("assess_fleet") if observed
+                else nullcontext())
+        with root:
+            jobs = list(source.plan_jobs(
+                self.specs, instrumentation=self.instrumentation))
+            results = self.run(jobs)
         return FleetAssessmentReport.from_run(jobs, results,
                                               self.instrumentation)

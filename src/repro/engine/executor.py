@@ -16,6 +16,15 @@ the detector name, job id and job seed).  No detector state, RNG
 position, cache content or scheduling order can leak between jobs, so
 the results are a pure function of the job list — regardless of batch
 size, worker count, or which worker ran what.
+
+**Observability crosses the pool the same way results do.**  Module
+state (hooks, metric registries) is process-local, so a worker records
+spans and metrics into a throwaway context and returns a
+:class:`~repro.obs.WorkerTelemetry` alongside its results; the parent
+re-parents the spans under its ``execute`` span, merges the metric
+deltas, and re-emits hook events.  Serial execution uses the identical
+channel, so the two modes produce the same span tree shape, the same
+aggregate counters, and the same hook event counts.
 """
 
 from __future__ import annotations
@@ -27,14 +36,26 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..exceptions import EngineError
+from ..obs import MetricsRegistry, ObsContext, Tracer, WorkerTelemetry
+from ..obs.metrics import LATENCY_BUCKETS
+from ..obs.tracing import RemoteContext
+from .cache import shared_cache
 from .detectors import build_detector
-from .instrument import Instrumentation
+from .instrument import Instrumentation, emit_spans
 from .jobs import AssessmentJob, JobResult
 
 __all__ = ["EngineConfig", "job_seed", "run_job", "execute_jobs"]
 
 #: Cap on batches submitted but not yet collected per worker.
 _INFLIGHT_PER_WORKER = 2
+
+#: Metric names the worker channel populates.
+JOBS_METRIC = "repro_engine_jobs_total"
+POSITIVES_METRIC = "repro_engine_positives_total"
+DETECT_SECONDS_METRIC = "repro_engine_detect_seconds"
+CACHE_HITS_METRIC = "repro_engine_baseline_cache_hits_total"
+CACHE_MISSES_METRIC = "repro_engine_baseline_cache_misses_total"
+INFLIGHT_GAUGE = "repro_engine_inflight_batches"
 
 
 @dataclass(frozen=True)
@@ -81,6 +102,58 @@ def _run_batch(jobs: Sequence[AssessmentJob]) -> List[JobResult]:
     return [run_job(job) for job in jobs]
 
 
+def _run_batch_observed(jobs: Sequence[AssessmentJob],
+                        remote: RemoteContext, position: int
+                        ) -> Tuple[List[JobResult], WorkerTelemetry]:
+    """:func:`_run_batch` plus worker-side telemetry capture.
+
+    Runs in the pool worker (or inline, serially): spans for the batch,
+    each job and each detector stage, metric counters/histograms, and
+    the baseline-cache hit/miss delta this batch caused in *this*
+    process.  Everything returned is picklable; the parent re-parents
+    and merges it via :meth:`~repro.obs.ObsContext.absorb`.
+    """
+    tracer = Tracer(remote=remote)
+    metrics = MetricsRegistry()
+    jobs_total = metrics.counter(JOBS_METRIC, help="Jobs assessed.")
+    positives = metrics.counter(POSITIVES_METRIC,
+                                help="Jobs assessed positive.")
+    latency = metrics.histogram(
+        DETECT_SECONDS_METRIC,
+        help="Detector stage latency per job.", buckets=LATENCY_BUCKETS)
+    cache = shared_cache()
+    hits_before, misses_before = cache.counters()
+
+    results: List[JobResult] = []
+    with tracer.span("batch", batch=position, jobs=len(jobs)):
+        for job in jobs:
+            detector = job.detector.name
+            with tracer.span("job", detector=detector, job_id=job.job_id,
+                             entity=job.entity, metric=job.metric) as span:
+                result = run_job(job)
+            stage_start = span.start_unix
+            for stage, seconds in result.timings:
+                tracer.record(stage, seconds, parent_id=span.span_id,
+                              start_unix=stage_start, detector=detector)
+                latency.observe(seconds, detector=detector, stage=stage)
+                stage_start += seconds
+            jobs_total.inc(detector=detector)
+            if result.positive:
+                positives.inc(detector=detector)
+            results.append(result)
+
+    if cache.hits > hits_before:
+        metrics.counter(CACHE_HITS_METRIC,
+                        help="Baseline-stats cache hits.").inc(
+            cache.hits - hits_before)
+    if cache.misses > misses_before:
+        metrics.counter(CACHE_MISSES_METRIC,
+                        help="Baseline-stats cache misses.").inc(
+            cache.misses - misses_before)
+    return results, WorkerTelemetry(spans=tracer.export(),
+                                    metrics=metrics.snapshot())
+
+
 def _batches(jobs: Iterable[AssessmentJob],
              size: int) -> Iterator[List[AssessmentJob]]:
     batch: List[AssessmentJob] = []
@@ -95,24 +168,41 @@ def _batches(jobs: Iterable[AssessmentJob],
 
 def _record(results: Sequence[JobResult],
             instrumentation: Optional[Instrumentation]) -> None:
+    """Fold one batch's results into the compat Instrumentation.
+
+    Always local-only (``mirror=False``): when observability is on,
+    these numbers reach the obs registry through the worker channel,
+    and mirroring here too would double-count.
+    """
     if instrumentation is None:
         return
-    instrumentation.count("jobs", len(results))
+    instrumentation.count("jobs", len(results), mirror=False)
     instrumentation.count("positives",
-                          sum(1 for r in results if r.positive))
+                          sum(1 for r in results if r.positive),
+                          mirror=False)
     stage_totals: dict = {}
     for result in results:
         for stage, seconds in result.timings:
             calls, total = stage_totals.get(stage, (0, 0.0))
             stage_totals[stage] = (calls + 1, total + seconds)
     for stage, (calls, total) in stage_totals.items():
-        instrumentation.add_time(stage, total, items=calls, calls=calls)
+        instrumentation.add_time(stage, total, items=calls, calls=calls,
+                                 mirror=False)
+
+
+def _resolve_obs(instrumentation: Optional[Instrumentation],
+                 obs: Optional[ObsContext]) -> Optional[ObsContext]:
+    if obs is None and instrumentation is not None:
+        obs = instrumentation.obs
+    if obs is not None and not obs.enabled:
+        return None
+    return obs
 
 
 def execute_jobs(jobs: Iterable[AssessmentJob],
                  config: Optional[EngineConfig] = None,
-                 instrumentation: Optional[Instrumentation] = None
-                 ) -> List[JobResult]:
+                 instrumentation: Optional[Instrumentation] = None,
+                 obs: Optional[ObsContext] = None) -> List[JobResult]:
     """Run every job and return results in input order.
 
     Args:
@@ -120,42 +210,96 @@ def execute_jobs(jobs: Iterable[AssessmentJob],
         config: worker/batch sizing; defaults to serial execution.
         instrumentation: optional sink for the run's ``execute`` wall
             time, per-stage detector timings, and job/positive counters.
+        obs: optional observability context.  Defaults to
+            ``instrumentation.obs`` when one is attached; when enabled,
+            the run produces a full span tree and metric set that is
+            identical in shape and counts whether execution is serial
+            or pooled.
     """
     config = config or EngineConfig()
+    obs = _resolve_obs(instrumentation, obs)
     started = time.perf_counter()
-    if config.workers == 0:
-        results: List[JobResult] = []
+    if obs is not None:
+        with obs.tracer.span("execute", workers=config.workers,
+                             batch_size=config.batch_size):
+            remote = obs.remote_context()
+            if config.workers == 0:
+                results = _execute_serial_observed(
+                    jobs, config, instrumentation, obs, remote)
+            else:
+                results = _execute_pooled(jobs, config, instrumentation,
+                                          obs, remote)
+    elif config.workers == 0:
+        results = []
         for batch in _batches(jobs, config.batch_size):
             batch_results = _run_batch(batch)
             _record(batch_results, instrumentation)
             results.extend(batch_results)
     else:
-        results = _execute_pooled(jobs, config, instrumentation)
+        results = _execute_pooled(jobs, config, instrumentation, None, None)
     if instrumentation is not None:
         instrumentation.add_time("execute", time.perf_counter() - started,
-                                 items=len(results))
+                                 items=len(results), mirror=False)
+    return results
+
+
+def _absorb(obs: ObsContext, telemetry: WorkerTelemetry) -> None:
+    obs.absorb(telemetry)
+    emit_spans(telemetry.spans)
+
+
+def _execute_serial_observed(jobs: Iterable[AssessmentJob],
+                             config: EngineConfig,
+                             instrumentation: Optional[Instrumentation],
+                             obs: ObsContext,
+                             remote: RemoteContext) -> List[JobResult]:
+    """Serial path through the same telemetry channel the pool uses."""
+    results: List[JobResult] = []
+    for position, batch in enumerate(_batches(jobs, config.batch_size)):
+        batch_results, telemetry = _run_batch_observed(batch, remote,
+                                                       position)
+        _absorb(obs, telemetry)
+        _record(batch_results, instrumentation)
+        results.extend(batch_results)
     return results
 
 
 def _execute_pooled(jobs: Iterable[AssessmentJob], config: EngineConfig,
-                    instrumentation: Optional[Instrumentation]
-                    ) -> List[JobResult]:
+                    instrumentation: Optional[Instrumentation],
+                    obs: Optional[ObsContext],
+                    remote: Optional[RemoteContext]) -> List[JobResult]:
     """Submit batches to a process pool, keeping bounded work in flight."""
     max_inflight = config.workers * _INFLIGHT_PER_WORKER
     ordered: dict = {}
     pending: dict = {}
+    inflight_peak = 0
     with ProcessPoolExecutor(max_workers=config.workers) as pool:
         for position, batch in enumerate(_batches(jobs, config.batch_size)):
             while len(pending) >= max_inflight:
                 done, _ = wait(tuple(pending), return_when=FIRST_COMPLETED)
                 for future in done:
                     ordered[pending.pop(future)] = future.result()
-            pending[pool.submit(_run_batch, batch)] = position
+            if obs is not None:
+                future = pool.submit(_run_batch_observed, batch, remote,
+                                     position)
+            else:
+                future = pool.submit(_run_batch, batch)
+            pending[future] = position
+            inflight_peak = max(inflight_peak, len(pending))
         for future, position in pending.items():
             ordered[position] = future.result()
+    if obs is not None:
+        obs.metrics.gauge(
+            INFLIGHT_GAUGE,
+            help="Peak batches in flight across the pool.").set(
+            float(inflight_peak))
     results: List[JobResult] = []
     for position in sorted(ordered):
-        batch_results: Tuple[JobResult, ...] = ordered[position]
+        if obs is not None:
+            batch_results, telemetry = ordered[position]
+            _absorb(obs, telemetry)
+        else:
+            batch_results = ordered[position]
         _record(batch_results, instrumentation)
         results.extend(batch_results)
     return results

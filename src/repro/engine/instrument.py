@@ -1,16 +1,23 @@
 """Counters, stage timings and observer hooks for the assessment engine.
 
-Every engine stage — ``plan`` (impact-set expansion), ``fetch`` (series
-materialisation), ``detect`` (SST/baseline scoring), ``attribute`` (DiD
-comparison) and ``execute`` (whole batched runs) — reports its item
-count and wall-clock duration here.  Two consumption styles:
+This module is now a thin compatibility shim over :mod:`repro.obs` —
+the structured tracing/metrics layer.  :class:`Instrumentation` keeps
+its original pull API (per-stage totals, named counters,
+:meth:`Instrumentation.snapshot`) and push API (module-level hooks
+receiving one event dict per stage completion), so pre-obs callers and
+tests keep working unchanged.  When an :class:`~repro.obs.ObsContext`
+is attached, every recording is mirrored into it:
 
-* **pull** — an :class:`Instrumentation` object accumulates per-stage
-  totals; :meth:`Instrumentation.snapshot` returns a JSON-safe summary
-  (this is what ``repro assess-fleet`` prints);
-* **push** — module-level hooks registered with :func:`add_hook`
-  receive one event dict per stage completion, for live dashboards or
-  test probes.
+* :meth:`Instrumentation.timed` opens a real span (so planner stages
+  appear in the run's trace with correct parentage);
+* :meth:`Instrumentation.add_time` records a completed span and feeds
+  the ``repro_engine_stage_seconds`` histogram;
+* :meth:`Instrumentation.count` increments a
+  ``repro_engine_<name>_total`` counter.
+
+The executor suppresses the mirroring (``mirror=False``) for the stats
+it derives from job results, because those flow through the worker
+telemetry channel instead — otherwise pooled runs would double-count.
 
 Hook failures are deliberately not swallowed: a broken observer should
 fail loudly in tests rather than silently drop telemetry.
@@ -21,14 +28,21 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
+
+from ..obs import ObsContext, SpanRecord
+from ..obs.metrics import LATENCY_BUCKETS
 
 __all__ = ["StageStats", "Instrumentation", "add_hook", "remove_hook",
-           "clear_hooks", "emit"]
+           "clear_hooks", "emit", "emit_spans", "has_hooks",
+           "STAGE_SECONDS_METRIC"]
 
 Hook = Callable[[dict], None]
 
 _HOOKS: List[Hook] = []
+
+#: Histogram fed by every mirrored stage timing.
+STAGE_SECONDS_METRIC = "repro_engine_stage_seconds"
 
 
 def add_hook(hook: Hook) -> Hook:
@@ -48,10 +62,32 @@ def clear_hooks() -> None:
     del _HOOKS[:]
 
 
+def has_hooks() -> bool:
+    """True when at least one hook is registered (cheap emit guard)."""
+    return bool(_HOOKS)
+
+
 def emit(event: dict) -> None:
     """Deliver ``event`` to every registered hook, in registration order."""
     for hook in tuple(_HOOKS):
         hook(event)
+
+
+def emit_spans(records: Iterable[SpanRecord]) -> None:
+    """Deliver worker-channel spans to the hooks as ``span`` events.
+
+    This is the fix for the old gap where module-level hooks were
+    process-local: pool workers record spans instead of calling hooks,
+    the executor ships them back, and this function re-emits them in
+    the parent — so serial and pooled runs deliver the same events.
+    """
+    if not _HOOKS:
+        return
+    for record in records:
+        emit({"kind": "span", "name": record.name,
+              "seconds": record.duration_s, "span_id": record.span_id,
+              "parent_id": record.parent_id,
+              "attrs": dict(record.attrs)})
 
 
 @dataclass
@@ -79,21 +115,42 @@ class Instrumentation:
         ['plan']
     """
 
-    def __init__(self) -> None:
+    def __init__(self, obs: Optional[ObsContext] = None) -> None:
         self.stages: Dict[str, StageStats] = {}
         self.counters: Dict[str, int] = {}
+        self.obs = obs
 
     # -- recording -----------------------------------------------------------
 
-    def count(self, name: str, n: int = 1) -> None:
-        """Increment the counter ``name`` by ``n``."""
+    def _obs_enabled(self) -> bool:
+        return self.obs is not None and self.obs.enabled
+
+    def count(self, name: str, n: int = 1, mirror: bool = True) -> None:
+        """Increment the counter ``name`` by ``n``.
+
+        Mirrored into the obs registry as ``repro_engine_<name>_total``
+        unless ``mirror`` is false (the executor's counts arrive through
+        the worker channel instead).
+        """
         self.counters[name] = self.counters.get(name, 0) + n
+        if mirror and self._obs_enabled():
+            self.obs.metrics.counter(
+                "repro_engine_%s_total" % name,
+                help="Engine counter %r." % name).inc(n)
+
+    def _observe_stage(self, stage: str, seconds: float) -> None:
+        self.obs.metrics.histogram(
+            STAGE_SECONDS_METRIC,
+            help="Wall-clock seconds per engine stage invocation.",
+            buckets=LATENCY_BUCKETS).observe(seconds, stage=stage)
 
     def add_time(self, stage: str, seconds: float, items: int = 0,
-                 calls: int = 1) -> None:
+                 calls: int = 1, mirror: bool = True) -> None:
         """Record ``seconds`` of wall-clock spent in ``stage``.
 
-        Emits a ``{"kind": "stage", ...}`` event to the registered hooks.
+        Emits a ``{"kind": "stage", ...}`` event to the registered
+        hooks; with an attached obs context (and ``mirror`` true) also
+        records a completed span and a histogram observation.
         """
         stats = self.stages.setdefault(stage, StageStats())
         stats.calls += calls
@@ -101,15 +158,35 @@ class Instrumentation:
         stats.seconds += seconds
         emit({"kind": "stage", "stage": stage, "seconds": seconds,
               "items": items})
+        if mirror and self._obs_enabled():
+            self.obs.tracer.record(stage, seconds, items=items)
+            self._observe_stage(stage, seconds)
 
     @contextmanager
     def timed(self, stage: str, items: int = 0) -> Iterator[None]:
-        """Context manager timing one ``stage`` invocation."""
-        started = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.add_time(stage, time.perf_counter() - started, items=items)
+        """Context manager timing one ``stage`` invocation.
+
+        With an obs context attached, the invocation is a live span —
+        nested ``timed`` blocks (and executor work inside them) parent
+        correctly.
+        """
+        if self._obs_enabled():
+            started = time.perf_counter()
+            with self.obs.tracer.span(stage, items=items):
+                try:
+                    yield
+                finally:
+                    seconds = time.perf_counter() - started
+                    self.add_time(stage, seconds, items=items,
+                                  mirror=False)
+                    self._observe_stage(stage, seconds)
+        else:
+            started = time.perf_counter()
+            try:
+                yield
+            finally:
+                self.add_time(stage, time.perf_counter() - started,
+                              items=items)
 
     # -- reporting -----------------------------------------------------------
 

@@ -29,6 +29,7 @@ from typing import Dict, Iterable, Iterator, Optional, Tuple
 import numpy as np
 
 from ..changes.change import SoftwareChange
+from ..obs.metrics import BYTE_BUCKETS
 from ..topology.entities import Fleet
 from ..topology.impact import identify_impact_set
 from .instrument import Instrumentation
@@ -36,6 +37,17 @@ from .jobs import AssessmentJob, DetectorSpec
 
 __all__ = ["ENTITY_METRICS", "FetchedWindow", "job_from_item",
            "jobs_from_items", "plan_change_jobs"]
+
+FETCH_BYTES_METRIC = "repro_engine_fetch_bytes"
+
+
+def _window_nbytes(window: "FetchedWindow") -> int:
+    total = np.asarray(window.treated).nbytes
+    if window.control is not None:
+        total += np.asarray(window.control).nbytes
+    if window.history is not None:
+        total += np.asarray(window.history).nbytes
+    return total
 
 #: The KPIs monitored per entity type (the paper's three KPI families:
 #: seasonal page views at service level, stationary memory and variable
@@ -111,6 +123,7 @@ def plan_change_jobs(fleet: Fleet, change: SoftwareChange, provider,
     and every window materialisation under ``fetch``.
     """
     inst = instrumentation or Instrumentation()
+    observed = inst.obs is not None and inst.obs.enabled
     with inst.timed("plan", items=1):
         impact = identify_impact_set(fleet, change.service, change.hostnames)
         entities = impact.monitored_entities()
@@ -122,6 +135,15 @@ def plan_change_jobs(fleet: Fleet, change: SoftwareChange, provider,
         for metric in ENTITY_METRICS.get(entity_type, ()):
             with inst.timed("fetch", items=1):
                 window = provider.fetch(change, entity_type, entity, metric)
+            if observed:
+                n_bytes = _window_nbytes(window)
+                inst.obs.metrics.counter(
+                    FETCH_BYTES_METRIC + "_total",
+                    help="Bytes materialised by window fetches.").inc(n_bytes)
+                inst.obs.metrics.histogram(
+                    FETCH_BYTES_METRIC,
+                    help="Bytes per fetched window.",
+                    buckets=BYTE_BUCKETS).observe(n_bytes, metric=metric)
             truth = (truth_of(change, entity_type, entity, metric)
                      if truth_of is not None else None)
             yield AssessmentJob(

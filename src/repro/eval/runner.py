@@ -27,7 +27,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 from ..baselines.cusum import CusumParams
 from ..baselines.mrls import MrlsParams
 from ..core.funnel import FunnelConfig
-from ..engine import (EngineConfig, Instrumentation, ItemOutcome,
+from ..engine import (EngineConfig, Instrumentation, ItemOutcome, ObsContext,
                       execute_jobs, job_from_item, run_job, spec_for_method)
 from ..engine.jobs import AssessmentJob, DetectorSpec
 from ..exceptions import EngineError, EvaluationError
@@ -146,8 +146,8 @@ def evaluate_corpus(items: Iterable[EvaluationItem],
                     mrls_stride: int = 1,
                     progress: Optional[Callable[[int], None]] = None,
                     workers: int = 0, batch_size: int = 16,
-                    instrumentation: Optional[Instrumentation] = None
-                    ) -> EvaluationResult:
+                    instrumentation: Optional[Instrumentation] = None,
+                    obs: Optional[ObsContext] = None) -> EvaluationResult:
     """Run every method over every item.
 
     Engine-backed methods (anything :func:`make_method` returns) are
@@ -168,6 +168,10 @@ def evaluate_corpus(items: Iterable[EvaluationItem],
         workers: engine process-pool size; 0 = serial.
         batch_size: jobs per engine batch.
         instrumentation: optional engine instrumentation sink.
+        obs: optional :class:`~repro.obs.ObsContext`; when enabled the
+            evaluation's engine runs record spans and metrics (worker
+            telemetry included), and the caller can write them out with
+            :func:`repro.obs.write_run_artifacts`.
     """
     if mrls_stride < 1:
         raise EvaluationError("mrls_stride must be >= 1")
@@ -177,7 +181,7 @@ def evaluate_corpus(items: Iterable[EvaluationItem],
         result = _evaluate_with_engine(
             items, methods, mrls_stride, progress,
             EngineConfig(workers=workers, batch_size=batch_size),
-            instrumentation)
+            instrumentation, obs)
     else:
         result = _evaluate_legacy(items, methods, mrls_stride, progress)
 
@@ -193,7 +197,8 @@ def _evaluate_with_engine(items: Iterable[EvaluationItem],
                           mrls_stride: int,
                           progress: Optional[Callable[[int], None]],
                           config: EngineConfig,
-                          instrumentation: Optional[Instrumentation]
+                          instrumentation: Optional[Instrumentation],
+                          obs: Optional[ObsContext] = None
                           ) -> EvaluationResult:
     """The engine path: chunked job planning + batched execution."""
     result = EvaluationResult()
@@ -210,7 +215,7 @@ def _evaluate_with_engine(items: Iterable[EvaluationItem],
                 jobs.append(job_from_item(item, method.spec))
                 labels.append((name, item))
         outcomes = execute_jobs(jobs, config=config,
-                                instrumentation=instrumentation)
+                                instrumentation=instrumentation, obs=obs)
         for (name, item), job_result in zip(labels, outcomes):
             result.record(name, item, job_result.outcome)
         if progress is not None:

@@ -1,0 +1,40 @@
+"""End-to-end observability for the assessment engine.
+
+Four pieces, designed to compose:
+
+* :mod:`repro.obs.tracing` — spans with monotonic timings, explicit
+  context propagation and picklable records that re-parent across the
+  process-pool boundary;
+* :mod:`repro.obs.metrics` — counters, gauges and fixed-bucket
+  histograms with Prometheus text exposition and mergeable JSON
+  snapshots;
+* :mod:`repro.obs.artifacts` — per-run ``events.jsonl`` + ``run.json``
+  written under ``--obs-dir``, making runs diffable and replayable;
+* :mod:`repro.obs.profile` — the stage profiler behind
+  ``repro obs report``: self-vs-child time per stage path, per-detector
+  latency, slowest jobs, and flamegraph ``folded`` export.
+
+The engine threads one :class:`ObsContext` per run through planner,
+executor and reporters; ``repro assess-fleet --obs-dir <d>`` records a
+run and ``repro obs report <d>`` profiles it.  See
+``docs/observability.md``.
+"""
+
+from .artifacts import (RunArtifacts, git_revision, load_run,
+                        write_run_artifacts)
+from .context import ObsContext, WorkerTelemetry
+from .metrics import (BYTE_BUCKETS, LATENCY_BUCKETS, Counter, Gauge,
+                      Histogram, MetricsRegistry)
+from .profile import (PathStats, StageProfile, build_profile, folded_stacks,
+                      render_table)
+from .tracing import (RemoteContext, Span, SpanRecord, Tracer, new_span_id,
+                      new_trace_id)
+
+__all__ = [
+    "BYTE_BUCKETS", "Counter", "Gauge", "Histogram", "LATENCY_BUCKETS",
+    "MetricsRegistry", "ObsContext", "PathStats", "RemoteContext",
+    "RunArtifacts", "Span", "SpanRecord", "StageProfile", "Tracer",
+    "WorkerTelemetry", "build_profile", "folded_stacks", "git_revision",
+    "load_run", "new_span_id", "new_trace_id", "render_table",
+    "write_run_artifacts",
+]

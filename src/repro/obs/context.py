@@ -1,0 +1,102 @@
+"""The per-run observability context and the worker telemetry channel.
+
+An :class:`ObsContext` owns one run's tracer, metrics registry and
+event log.  The engine threads it explicitly — constructor argument,
+never a global — through planner, executor and reporters.
+
+Crossing the process pool: module-level state (hooks, registries) does
+not exist in pool workers, so telemetry recorded there must travel back
+with the results.  The executor ships a :class:`RemoteContext` out with
+each batch; the worker records into a throwaway context and returns a
+:class:`WorkerTelemetry` — pickled span records plus a metrics snapshot
+— which :meth:`ObsContext.absorb` re-parents and merges.  The serial
+path uses the identical channel, which is what makes serial and pooled
+runs structurally indistinguishable to observers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from .metrics import MetricsRegistry
+from .tracing import RemoteContext, SpanRecord, Tracer
+
+__all__ = ["ObsContext", "WorkerTelemetry"]
+
+SpanObserver = Callable[[SpanRecord], None]
+
+
+@dataclass(frozen=True)
+class WorkerTelemetry:
+    """One batch's worth of worker-side telemetry, shipped with results."""
+
+    spans: Tuple[SpanRecord, ...]
+    metrics: dict
+
+    @property
+    def span_count(self) -> int:
+        return len(self.spans)
+
+
+class ObsContext:
+    """Tracer + metrics + span observers for one engine run.
+
+    ``enabled=False`` builds an inert context: every recording surface
+    still exists (callers never branch), but the executor checks
+    :attr:`enabled` once per run and skips the telemetry channel, so a
+    disabled context costs nothing on the hot path.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.tracer = Tracer()
+        self.metrics = MetricsRegistry()
+        self.started_unix = time.time()
+        self._observers: List[SpanObserver] = []
+
+    # -- observers -----------------------------------------------------------
+
+    def on_span(self, observer: SpanObserver) -> SpanObserver:
+        """Register ``observer`` to receive every adopted/finished span."""
+        self._observers.append(observer)
+        return observer
+
+    def _notify(self, records: Tuple[SpanRecord, ...]) -> None:
+        if not self._observers:
+            return
+        for record in records:
+            for observer in tuple(self._observers):
+                observer(record)
+
+    # -- the worker channel --------------------------------------------------
+
+    def remote_context(self) -> RemoteContext:
+        """Context for parenting worker spans under the current span."""
+        return self.tracer.remote_context()
+
+    def absorb(self, telemetry: Optional[WorkerTelemetry]) -> None:
+        """Merge one batch's worker telemetry into the run's view."""
+        if telemetry is None:
+            return
+        self.tracer.adopt(telemetry.spans)
+        self.metrics.merge(telemetry.metrics)
+        self._notify(telemetry.spans)
+
+    # -- export --------------------------------------------------------------
+
+    @property
+    def span_count(self) -> int:
+        return len(self.tracer.finished)
+
+    def spans(self) -> Tuple[SpanRecord, ...]:
+        return tuple(self.tracer.finished)
+
+    def snapshot(self) -> dict:
+        """JSON-safe summary: metric snapshot plus trace shape."""
+        return {
+            "trace_id": self.tracer.trace_id,
+            "span_count": self.span_count,
+            "metrics": self.metrics.snapshot(),
+        }

@@ -22,12 +22,13 @@ are bit-identical either way.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..core.funnel import FunnelConfig
-from ..engine import (EngineConfig, Instrumentation, execute_jobs,
-                      job_from_item, spec_for_method)
+from ..engine import (EngineConfig, Instrumentation, ObsContext,
+                      execute_jobs, job_from_item, spec_for_method)
 from ..exceptions import ParameterError
 from ..synthetic.dataset import CorpusSpec, EvaluationCorpus
 
@@ -168,20 +169,24 @@ def _day_corpus(spec: DeploymentSpec, day: int) -> EvaluationCorpus:
 def simulate_week(spec: Optional[DeploymentSpec] = None,
                   funnel_config: Optional[FunnelConfig] = None,
                   progress=None, workers: int = 0, batch_size: int = 16,
-                  instrumentation: Optional[Instrumentation] = None
-                  ) -> DeploymentReport:
+                  instrumentation: Optional[Instrumentation] = None,
+                  obs: Optional[ObsContext] = None) -> DeploymentReport:
     """Run FUNNEL online over a simulated deployment week.
 
     Each day's KPI stream goes through the batched assessment engine;
     ``workers`` > 0 fans the day out over a process pool with counters
     bit-identical to the serial default.  ``instrumentation`` receives
-    the engine's per-stage timings across the whole week.
+    the engine's per-stage timings across the whole week; ``obs``
+    (an :class:`~repro.obs.ObsContext`) additionally collects the
+    week's spans and metrics — one ``day`` span per simulated day with
+    the engine's execute/batch/job tree underneath.
     """
     spec = spec or DeploymentSpec()
     detector = spec_for_method("funnel", funnel_config=funnel_config)
     config = EngineConfig(workers=workers, batch_size=batch_size)
     chunk_size = config.batch_size * max(config.workers, 1) * 4
     report = DeploymentReport()
+    observed = obs is not None and obs.enabled
 
     for day in range(spec.days):
         counters = DeploymentDay(day=day)
@@ -192,7 +197,8 @@ def simulate_week(spec: Optional[DeploymentSpec] = None,
         def flush(items) -> None:
             jobs = [job_from_item(item, detector) for item in items]
             results = execute_jobs(jobs, config=config,
-                                   instrumentation=instrumentation)
+                                   instrumentation=instrumentation,
+                                   obs=obs)
             for item, result in zip(items, results):
                 if result.positive:
                     counters.detections += 1
@@ -201,17 +207,20 @@ def simulate_week(spec: Optional[DeploymentSpec] = None,
                 elif item.truth.positive:
                     counters.missed_impacted_kpis += 1
 
-        chunk = []
-        for item in corpus:
-            counters.kpis += 1
-            if item.truth.positive:
-                seen_changes.add((item.half, item.change_id))
-            chunk.append(item)
-            if len(chunk) >= chunk_size:
+        day_span = (obs.tracer.span("day", day=day) if observed
+                    else nullcontext())
+        with day_span:
+            chunk = []
+            for item in corpus:
+                counters.kpis += 1
+                if item.truth.positive:
+                    seen_changes.add((item.half, item.change_id))
+                chunk.append(item)
+                if len(chunk) >= chunk_size:
+                    flush(chunk)
+                    chunk = []
+            if chunk:
                 flush(chunk)
-                chunk = []
-        if chunk:
-            flush(chunk)
         counters.impactful_changes = len(seen_changes)
         report.days.append(counters)
         if progress is not None:

@@ -1,0 +1,165 @@
+"""Serial vs process-pool observability parity (the worker channel).
+
+Module-level hooks and metric registries are process-local, so a pooled
+run would historically drop every worker-side event.  The executor now
+routes worker telemetry (spans + metric snapshots) back with the batch
+results and re-emits it in the parent — these tests pin the contract:
+aggregate counters, histogram counts, span counts and hook event counts
+are identical whether the batches ran inline or across a pool.
+
+Gauges are deliberately excluded: the in-flight-batches gauge only
+exists for pooled runs (serial has no pool), so parity is defined over
+counters + histograms + spans + hook events.
+"""
+
+from collections import Counter as TallyCounter
+
+import pytest
+
+from repro.engine import (AssessmentEngine, EngineConfig, FleetScenarioSpec,
+                          Instrumentation, SyntheticFleetSource, add_hook,
+                          clear_hooks, execute_jobs, remove_hook,
+                          reset_shared_cache, spec_for_method)
+from repro.engine.executor import INFLIGHT_GAUGE
+from repro.obs import ObsContext
+
+
+@pytest.fixture(scope="module")
+def fleet_jobs():
+    """One funnel job per fleet KPI — baseline keys unique per job, so
+    cache hit/miss counters are stable across worker counts."""
+    source = SyntheticFleetSource(FleetScenarioSpec(
+        n_services=4, n_servers=20, n_changes=3, history_days=1, seed=3))
+    return list(source.plan_jobs((spec_for_method("funnel"),),
+                                 instrumentation=Instrumentation()))
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    reset_shared_cache()
+    clear_hooks()
+    yield
+    reset_shared_cache()
+    clear_hooks()
+
+
+def _observed_run(jobs, workers):
+    """Run ``jobs`` with obs + hooks attached, from a cold cache."""
+    reset_shared_cache()
+    obs = ObsContext()
+    instrumentation = Instrumentation(obs=obs)
+    events = []
+    hook = add_hook(events.append)
+    try:
+        results = execute_jobs(
+            jobs, config=EngineConfig(workers=workers, batch_size=4),
+            instrumentation=instrumentation)
+    finally:
+        remove_hook(hook)
+    return results, obs, events
+
+
+def _counter_values(obs):
+    snap = obs.metrics.snapshot()
+    return {name: {tuple(sorted(entry["labels"].items())): entry["value"]
+                   for entry in doc["values"]}
+            for name, doc in snap["counters"].items()}
+
+
+def _histogram_counts(obs):
+    """Observation counts per metric/label-set (durations vary run to
+    run, so bucket placement and sums are not parity material)."""
+    snap = obs.metrics.snapshot()
+    return {name: {tuple(sorted(entry["labels"].items())): entry["count"]
+                   for entry in doc["values"]}
+            for name, doc in snap["histograms"].items()}
+
+
+def _event_counts(events):
+    keys = []
+    for event in events:
+        if event["kind"] == "stage":
+            keys.append(("stage", event["stage"]))
+        else:
+            keys.append((event["kind"], event.get("name")))
+    return TallyCounter(keys)
+
+
+class TestWorkerChannelParity:
+    def test_metrics_spans_and_hook_events_match(self, fleet_jobs):
+        serial_results, serial_obs, serial_events = \
+            _observed_run(fleet_jobs, workers=0)
+        pooled_results, pooled_obs, pooled_events = \
+            _observed_run(fleet_jobs, workers=2)
+
+        # Outcomes first: obs must not perturb the engine's parity.
+        assert [r.outcome for r in serial_results] == \
+            [r.outcome for r in pooled_results]
+
+        # Aggregate counters — jobs, positives, cache hits/misses.
+        assert _counter_values(serial_obs) == _counter_values(pooled_obs)
+        jobs_total = _counter_values(serial_obs)[
+            "repro_engine_jobs_total"]
+        assert sum(jobs_total.values()) == len(fleet_jobs)
+
+        # Histogram observation counts (detect-stage latency per job).
+        assert _histogram_counts(serial_obs) == \
+            _histogram_counts(pooled_obs)
+
+        # Same span tree size and composition.
+        assert serial_obs.span_count == pooled_obs.span_count
+        serial_names = TallyCounter(s.name for s in serial_obs.spans())
+        pooled_names = TallyCounter(s.name for s in pooled_obs.spans())
+        assert serial_names == pooled_names
+        assert serial_names["job"] == len(fleet_jobs)
+        assert serial_names["execute"] == 1
+
+        # The satellite fix itself: hooks see the same events either way.
+        assert _event_counts(serial_events) == _event_counts(pooled_events)
+        assert _event_counts(serial_events)[("span", "job")] == \
+            len(fleet_jobs)
+
+    def test_worker_spans_reparent_under_execute(self, fleet_jobs):
+        _, obs, _ = _observed_run(fleet_jobs[:8], workers=2)
+        spans = obs.spans()
+        execute = [s for s in spans if s.name == "execute"]
+        assert len(execute) == 1
+        batches = [s for s in spans if s.name == "batch"]
+        assert batches
+        assert {s.parent_id for s in batches} == {execute[0].span_id}
+        assert {s.trace_id for s in spans} == {obs.tracer.trace_id}
+
+    def test_inflight_gauge_is_pooled_only(self, fleet_jobs):
+        _, serial_obs, _ = _observed_run(fleet_jobs[:8], workers=0)
+        _, pooled_obs, _ = _observed_run(fleet_jobs[:8], workers=2)
+        assert INFLIGHT_GAUGE not in serial_obs.metrics.snapshot()["gauges"]
+        assert pooled_obs.metrics.gauge(INFLIGHT_GAUGE).value() >= 1
+
+    def test_outcomes_identical_with_obs_off(self, fleet_jobs):
+        reset_shared_cache()
+        plain = execute_jobs(fleet_jobs,
+                             config=EngineConfig(workers=0, batch_size=4))
+        observed, _, _ = _observed_run(fleet_jobs, workers=0)
+        for a, b in zip(plain, observed):
+            assert a.outcome == b.outcome
+            assert a.verdict == b.verdict
+            assert a.did_estimate == b.did_estimate
+
+
+class TestEngineObsSummary:
+    def test_report_carries_obs_summary(self):
+        source = SyntheticFleetSource(FleetScenarioSpec(
+            n_services=2, n_servers=8, n_changes=2, history_days=1, seed=3))
+        obs = ObsContext()
+        engine = AssessmentEngine(detectors=("funnel",), obs=obs)
+        report = engine.assess_fleet(source)
+        doc = report.as_dict()
+        assert doc["obs"]["trace_id"] == obs.tracer.trace_id
+        assert doc["obs"]["span_count"] == obs.span_count > 0
+        assert [s.name for s in obs.spans()][-1] == "assess_fleet"
+
+    def test_report_omits_obs_when_unobserved(self):
+        source = SyntheticFleetSource(FleetScenarioSpec(
+            n_services=2, n_servers=8, n_changes=2, history_days=1, seed=3))
+        report = AssessmentEngine(detectors=("funnel",)).assess_fleet(source)
+        assert "obs" not in report.as_dict()

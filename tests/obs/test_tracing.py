@@ -1,0 +1,101 @@
+"""Tests for the span/tracer layer, including cross-process re-parenting."""
+
+import pickle
+
+import pytest
+
+from repro.obs import RemoteContext, SpanRecord, Tracer, new_span_id
+
+
+class TestIds:
+    def test_span_ids_unique(self):
+        ids = {new_span_id() for _ in range(500)}
+        assert len(ids) == 500
+
+    def test_tracers_get_distinct_traces(self):
+        assert Tracer().trace_id != Tracer().trace_id
+
+
+class TestSpans:
+    def test_nesting_parents_correctly(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+            with tracer.span("sibling") as sibling:
+                assert sibling.parent_id == outer.span_id
+        names = [r.name for r in tracer.finished]
+        assert names == ["inner", "sibling", "outer"]
+        outer_rec = tracer.finished[-1]
+        assert outer_rec.parent_id is None
+        assert all(r.duration_s >= 0 for r in tracer.finished)
+
+    def test_attrs_and_sorted_tuple(self):
+        tracer = Tracer()
+        with tracer.span("s", zebra=1, alpha=2) as live:
+            live.set_attr("mid", 3)
+        rec = tracer.finished[0]
+        assert rec.attrs == (("alpha", 2), ("mid", 3), ("zebra", 1))
+        assert rec.attr("zebra") == 1
+        assert rec.attr("missing", "d") == "d"
+
+    def test_record_defaults_parent_to_current(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            rec = tracer.record("timed", 0.5, items=3)
+        assert rec.parent_id == outer.span_id
+        assert rec.duration_s == 0.5
+        explicit = tracer.record("other", 0.1, parent_id="abc")
+        assert explicit.parent_id == "abc"
+
+    def test_record_round_trips_through_dict(self):
+        tracer = Tracer()
+        rec = tracer.record("stage", 0.25, items=2)
+        clone = SpanRecord.from_dict(rec.as_dict())
+        assert clone.as_dict() == rec.as_dict()
+        assert clone.name == "stage"
+        assert clone.attr("items") == 2
+
+
+class TestReparenting:
+    """Worker spans must survive pickling and slot into the parent tree."""
+
+    def test_remote_context_parents_worker_spans(self):
+        parent = Tracer()
+        with parent.span("execute") as execute:
+            remote = parent.remote_context()
+            assert remote == RemoteContext(trace_id=parent.trace_id,
+                                           parent_id=execute.span_id)
+            worker = Tracer(remote=remote)
+            with worker.span("batch") as batch:
+                with worker.span("job"):
+                    pass
+            payload = pickle.dumps(worker.export())
+        records = pickle.loads(payload)
+        parent.adopt(records)
+
+        by_name = {r.name: r for r in parent.finished}
+        assert by_name["batch"].parent_id == execute.span_id
+        assert by_name["job"].parent_id == batch.span_id
+        assert {r.trace_id for r in parent.finished} == {parent.trace_id}
+
+    def test_adopt_rewrites_foreign_trace_ids(self):
+        parent, stray = Tracer(), Tracer()
+        with stray.span("orphan"):
+            pass
+        assert parent.adopt(stray.export()) == 1
+        assert parent.finished[0].trace_id == parent.trace_id
+        assert parent.finished[0].name == "orphan"
+
+    def test_remote_context_itself_pickles(self):
+        remote = RemoteContext(trace_id="t", parent_id="p")
+        assert pickle.loads(pickle.dumps(remote)) == remote
+
+
+class TestRecordImmutability:
+    def test_records_are_frozen(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        with pytest.raises(AttributeError):
+            tracer.finished[0].name = "other"

@@ -1,0 +1,126 @@
+"""Live-service throughput: fragments/sec and detection lag vs. fleet size.
+
+Replays the same synthetic scenario through
+:func:`repro.live.replay_scenario` at 1x / 4x / 16x the base fleet size
+(servers scale; so do the subscribed KPI streams) and writes
+``benchmarks/BENCH_live.json`` with fragments/sec, p50/p99 detection lag
+in bins, and per-scale wall time.  A final forced-overload round (tiny
+queues, throttled drain budget) verifies that backpressure keeps the
+peak queue depth bounded while the shed counters account for every
+dropped fragment.
+
+Scale with ``REPRO_BENCH_LIVE_CHANGES`` (changes per scenario, default
+2).  Runnable standalone::
+
+    PYTHONPATH=src python benchmarks/bench_live_throughput.py
+"""
+
+import json
+import os
+import pathlib
+
+import numpy as np
+
+from repro.engine import FleetScenarioSpec
+from repro.live import parity_live_config, replay_scenario
+from repro.live.queues import SHED_FRAGMENTS_METRIC
+
+OUT_PATH = pathlib.Path(__file__).parent / "BENCH_live.json"
+
+BASE_SERVICES = 2
+BASE_SERVERS = 8
+SCALES = (1, 4, 16)
+
+
+def _spec(scale: int) -> FleetScenarioSpec:
+    n_changes = int(os.environ.get("REPRO_BENCH_LIVE_CHANGES", "2"))
+    return FleetScenarioSpec(
+        n_services=BASE_SERVICES * scale,
+        n_servers=BASE_SERVERS * scale,
+        n_changes=n_changes,
+        window_bins=120,
+        change_offset=60,
+        history_days=1,
+        seed=7,
+    )
+
+
+def _percentile(values, q):
+    if not values:
+        return None
+    return round(float(np.percentile(np.asarray(values, dtype=float), q)), 2)
+
+
+def _measure(scale: int) -> dict:
+    spec = _spec(scale)
+    config = parity_live_config(spec, score_chunk_bins=8)
+    report = replay_scenario(spec, live_config=config, flush_bins=4)
+    lags = list(report.detection_lag_bins)
+    return {
+        "scale": scale,
+        "services": spec.n_services,
+        "servers": spec.n_servers,
+        "fragments_streamed": report.fragments_streamed,
+        "fragments_per_second": round(report.fragments_per_second, 1),
+        "wall_seconds": round(report.wall_seconds, 4),
+        "verdicts": len(report.verdicts),
+        "detection_lag_bins_p50": _percentile(lags, 50),
+        "detection_lag_bins_p99": _percentile(lags, 99),
+        "peak_queue_depth": report.service_report["peak_queue_depth"],
+    }
+
+
+def _measure_overload() -> dict:
+    spec = _spec(1)
+    config = parity_live_config(spec, queue_capacity=2,
+                                max_fragments_per_tick=8)
+    report = replay_scenario(spec, live_config=config)
+    counters = report.service_report["counters"]
+    return {
+        "queue_capacity": 2,
+        "drain_budget": 8,
+        "fragments_streamed": report.fragments_streamed,
+        "shed_fragments": counters.get(SHED_FRAGMENTS_METRIC, 0),
+        "peak_queue_depth": report.service_report["peak_queue_depth"],
+        "closed_changes": report.service_report["closed_changes"],
+        "verdicts": len(report.verdicts),
+    }
+
+
+def run_bench() -> dict:
+    runs = [_measure(scale) for scale in SCALES]
+    overload = _measure_overload()
+    report = {"runs": runs, "overload": overload}
+    OUT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
+def test_live_throughput(benchmark):
+    report = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+
+    print()
+    print("Live replay throughput:")
+    for run in report["runs"]:
+        print("  %2dx fleet (%3d servers): %9.0f frag/s, "
+              "lag p50=%s p99=%s bins"
+              % (run["scale"], run["servers"],
+                 run["fragments_per_second"],
+                 run["detection_lag_bins_p50"],
+                 run["detection_lag_bins_p99"]))
+    overload = report["overload"]
+    print("  overload: shed=%d peak_depth=%d"
+          % (overload["shed_fragments"], overload["peak_queue_depth"]))
+
+    for run in report["runs"]:
+        assert run["fragments_per_second"] > 0
+        assert run["verdicts"] > 0
+    # Backpressure: shedding happened, yet memory stayed bounded and
+    # every admitted change still closed with verdicts.
+    assert overload["shed_fragments"] > 0
+    assert overload["peak_queue_depth"] <= 2 * 64
+    assert overload["closed_changes"] > 0
+    assert overload["verdicts"] > 0
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_bench(), indent=2, sort_keys=True))

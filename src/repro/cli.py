@@ -13,9 +13,15 @@ Commands:
   including per-stage instrumentation and precision/recall against the
   scenario's ground truth.  With ``--obs-dir <d>`` the run also records
   structured observability artifacts (``events.jsonl`` + ``run.json``).
+* ``live-replay`` — stream the same synthetic fleet scenario through
+  the live assessment service (``repro.live``) in accelerated virtual
+  time; optionally verify the verdict stream against the offline engine
+  (``--check-offline``) and write it as JSONL (``--verdicts``).
 * ``obs report`` — profile a recorded ``--obs-dir`` run: per-stage /
   per-detector time breakdown (self vs. child time, slowest jobs) as an
-  ASCII table, optionally exporting flamegraph ``folded`` stacks.
+  ASCII table plus the run's counters (including the live pipeline's
+  shed/gap counters), optionally exporting flamegraph ``folded``
+  stacks.
 
 All commands emit JSON on stdout so they compose with shell tooling —
 except ``obs report``, whose default output is the human-readable
@@ -107,7 +113,46 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--obs-dir",
                        help="directory to write run artifacts "
                             "(events.jsonl + run.json) into")
+    fleet.add_argument("--verdicts",
+                       help="also write one JSON line per "
+                            "(change, entity, KPI) verdict here")
     _add_funnel_options(fleet)
+
+    live = sub.add_parser(
+        "live-replay",
+        help="stream a synthetic fleet scenario through the live "
+             "assessment service in accelerated virtual time")
+    live.add_argument("--services", type=int, default=6)
+    live.add_argument("--servers", type=int, default=48)
+    live.add_argument("--changes", type=int, default=8)
+    live.add_argument("--impact-fraction", type=float, default=0.5)
+    live.add_argument("--history-days", type=int, default=2)
+    live.add_argument("--window-bins", type=int, default=240,
+                      help="bins per change window")
+    live.add_argument("--change-offset", type=int, default=80,
+                      help="change bin inside its window")
+    live.add_argument("--seed", type=int, default=7)
+    live.add_argument("--flush-bins", type=int, default=1,
+                      help="bins per streamed fragment")
+    live.add_argument("--score-chunk", type=int, default=6,
+                      help="bins batched per streaming scoring call "
+                           "(throughput knob; verdicts are unaffected)")
+    live.add_argument("--queue-capacity", type=int, default=64,
+                      help="per-KPI ingest queue bound, in fragments")
+    live.add_argument("--drain-budget", type=int, default=0,
+                      help="fragments drained per tick across all "
+                           "changes (0 = unlimited)")
+    live.add_argument("--max-active-changes", type=int, default=0,
+                      help="cap on concurrently assessed changes "
+                           "(0 = unlimited)")
+    live.add_argument("--verdicts",
+                      help="write the verdict stream as JSONL here")
+    live.add_argument("--obs-dir",
+                      help="directory to write run artifacts into")
+    live.add_argument("--check-offline", action="store_true",
+                      help="also run the offline engine and verify the "
+                           "verdict sets match")
+    _add_funnel_options(live)
 
     obs = sub.add_parser("obs", help="observability tooling")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
@@ -268,8 +313,27 @@ def _cmd_assess_fleet(args: argparse.Namespace) -> dict:
         funnel_config=config,
         obs=obs,
     )
-    report = engine.assess_fleet(source)
+    if args.verdicts:
+        report, jobs, results = engine.assess_fleet_detailed(source)
+        with open(args.verdicts, "w", encoding="utf-8") as fh:
+            for job, result in zip(jobs, results):
+                fh.write(json.dumps({
+                    "change_id": job.change_id,
+                    "entity_type": job.entity_type,
+                    "entity": job.entity,
+                    "metric": job.metric,
+                    "detector": result.detector,
+                    "verdict": (result.verdict.value
+                                if result.verdict is not None
+                                else "no_change"),
+                    "declaration_bin": result.outcome.detection_index,
+                    "did_estimate": result.did_estimate,
+                }, sort_keys=True) + "\n")
+    else:
+        report = engine.assess_fleet(source)
     out = report.as_dict()
+    if args.verdicts:
+        out["verdicts_path"] = args.verdicts
     out["scenario"] = {
         "services": args.services,
         "servers": args.servers,
@@ -291,11 +355,78 @@ def _cmd_assess_fleet(args: argparse.Namespace) -> dict:
     return out
 
 
+def _cmd_live_replay(args: argparse.Namespace) -> dict:
+    from .engine import FleetScenarioSpec
+    from .live import JsonlVerdictSink, parity_live_config, replay_scenario
+    from .obs import ObsContext, write_run_artifacts
+
+    spec = FleetScenarioSpec(
+        n_services=args.services,
+        n_servers=args.servers,
+        n_changes=args.changes,
+        impact_fraction=args.impact_fraction,
+        history_days=args.history_days,
+        window_bins=args.window_bins,
+        change_offset=args.change_offset,
+        seed=args.seed,
+    )
+    funnel_config = FunnelConfig(
+        sst=ImprovedSSTParams(omega=args.omega),
+        did_threshold=args.did_threshold,
+    )
+    live_config = parity_live_config(
+        spec, funnel_config=funnel_config,
+        score_chunk_bins=args.score_chunk,
+        queue_capacity=args.queue_capacity,
+        max_fragments_per_tick=args.drain_budget,
+        max_active_changes=args.max_active_changes,
+    )
+    obs = ObsContext() if args.obs_dir else None
+    sink = JsonlVerdictSink(args.verdicts) if args.verdicts else None
+    try:
+        report = replay_scenario(
+            spec, live_config=live_config, flush_bins=args.flush_bins,
+            check_offline=args.check_offline, obs=obs, sink=sink)
+    finally:
+        if sink is not None:
+            sink.close()
+    out = report.as_dict()
+    # The raw per-verdict lag lists are for the JSONL/bench consumers;
+    # the CLI summary keeps the document small.
+    lags = out.pop("detection_lag_bins")
+    out["mean_detection_lag_bins"] = (
+        round(float(np.mean(lags)), 2) if lags else None)
+    out.pop("emission_lag_seconds")
+    if args.verdicts:
+        out["verdicts_path"] = args.verdicts
+    if obs is not None:
+        written = write_run_artifacts(
+            args.obs_dir, obs,
+            config={
+                "command": "live-replay",
+                "services": args.services,
+                "servers": args.servers,
+                "changes": args.changes,
+                "flush_bins": args.flush_bins,
+                "score_chunk": args.score_chunk,
+                "queue_capacity": args.queue_capacity,
+                "drain_budget": args.drain_budget,
+                "max_active_changes": args.max_active_changes,
+                "omega": args.omega,
+                "did_threshold": args.did_threshold,
+            },
+            seeds={"scenario": args.seed},
+        )
+        out["obs"] = written
+    return out
+
+
 def _cmd_obs(args: argparse.Namespace):
     from .obs import build_profile, folded_stacks, load_run, render_table
 
     run = load_run(args.obs_dir)
     profile = build_profile(run.spans, top_jobs=args.top)
+    counters = _counter_rows(run.metrics)
     if args.folded:
         lines = folded_stacks(profile)
         with open(args.folded, "w", encoding="utf-8") as fh:
@@ -307,6 +438,8 @@ def _cmd_obs(args: argparse.Namespace):
             "paths": [stats.as_dict() for stats in profile.paths],
             "detectors": profile.detectors,
             "slowest_jobs": profile.slowest_jobs,
+            "counters": [{"name": name, "labels": labels, "value": value}
+                         for name, labels, value in counters],
         }
         if args.folded:
             doc["folded"] = args.folded
@@ -316,9 +449,26 @@ def _cmd_obs(args: argparse.Namespace):
     if rev:
         header += " (git %s)" % str(rev)[:12]
     text = header + "\n\n" + render_table(profile)
+    if counters:
+        text += "\nCounters\n"
+        for name, labels, value in counters:
+            tag = ("{%s}" % ",".join("%s=%s" % kv
+                                     for kv in sorted(labels.items()))
+                   if labels else "")
+            text += "  %-46s %12g\n" % (name + tag, value)
     if args.folded:
         text += "\nFolded stacks written to %s\n" % args.folded
     return text
+
+
+def _counter_rows(metrics: dict) -> list:
+    """Flatten a metrics snapshot's counters to (name, labels, value)."""
+    rows = []
+    for name, doc in sorted(metrics.get("counters", {}).items()):
+        for entry in doc.get("values", []):
+            rows.append((name, entry.get("labels", {}),
+                         entry.get("value", 0)))
+    return rows
 
 
 _COMMANDS = {
@@ -327,6 +477,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "cost": _cmd_cost,
     "assess-fleet": _cmd_assess_fleet,
+    "live-replay": _cmd_live_replay,
     "obs": _cmd_obs,
 }
 

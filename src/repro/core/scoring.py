@@ -32,6 +32,7 @@ __all__ = [
     "classify_change",
     "ChangeDeclarationPolicy",
     "declare_changes",
+    "confirm_candidate",
 ]
 
 #: Minimum duration (in 1-minute bins) a deviation must persist before it
@@ -241,7 +242,7 @@ def declare_changes(series: Sequence[float], scores: Sequence[float],
         if s[t] <= policy.score_threshold:
             t += 1
             continue
-        declared = _confirm_candidate(x, s, t, policy, lookahead)
+        declared = confirm_candidate(x, s, t, policy, lookahead)
         if declared is None:
             t += 1
             continue
@@ -253,9 +254,9 @@ def declare_changes(series: Sequence[float], scores: Sequence[float],
     return changes
 
 
-def _confirm_candidate(x: np.ndarray, scores: np.ndarray, candidate: int,
-                       policy: ChangeDeclarationPolicy,
-                       lookahead: int = 0) -> Optional[DetectedChange]:
+def confirm_candidate(x: np.ndarray, scores: np.ndarray, candidate: int,
+                      policy: ChangeDeclarationPolicy,
+                      lookahead: int = 0) -> Optional[DetectedChange]:
     """Run the persistence check for a candidate armed at ``candidate``.
 
     Confirms when the median of ``x[candidate : candidate+persistence]``
@@ -265,6 +266,10 @@ def _confirm_candidate(x: np.ndarray, scores: np.ndarray, candidate: int,
     window's end and the scoring lookahead horizon — so FUNNEL's
     detection delay has the persistence threshold as its floor
     (paper section 4.4).
+
+    This is the per-candidate core of :func:`declare_changes`, public so
+    a streaming scan (:mod:`repro.live`) can apply the identical rule
+    candidate-by-candidate on a growing prefix.
     """
     end = candidate + policy.persistence
     if end > x.size:

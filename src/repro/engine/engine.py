@@ -156,6 +156,18 @@ class AssessmentEngine:
         under one ``assess_fleet`` root span: planning and fetching
         spans from the planner, then the executor's span tree.
         """
+        report, _, _ = self.assess_fleet_detailed(source)
+        return report
+
+    def assess_fleet_detailed(
+            self, source
+    ) -> Tuple[FleetAssessmentReport, List[AssessmentJob], List[JobResult]]:
+        """:meth:`assess_fleet`, additionally returning the per-job data.
+
+        The live replay driver compares its streamed verdicts against
+        the zipped ``(jobs, results)``; the report alone folds that
+        detail away.
+        """
         observed = self.obs is not None and self.obs.enabled
         root = (self.obs.tracer.span("assess_fleet") if observed
                 else nullcontext())
@@ -163,5 +175,6 @@ class AssessmentEngine:
             jobs = list(source.plan_jobs(
                 self.specs, instrumentation=self.instrumentation))
             results = self.run(jobs)
-        return FleetAssessmentReport.from_run(jobs, results,
-                                              self.instrumentation)
+        report = FleetAssessmentReport.from_run(jobs, results,
+                                                self.instrumentation)
+        return report, jobs, results

@@ -252,6 +252,39 @@ class SyntheticFleetSource:
                 for d in range(1, self.spec.history_days + 1)]
         return np.vstack(rows)
 
+    def observed_series(self, entity_type: str, entity: str,
+                        metric: str) -> np.ndarray:
+        """The full timeline as the fleet's agents would measure it.
+
+        The base series plus every impactful change's injected level
+        shift inside that change's own window — i.e. exactly the
+        concatenation of the per-change :meth:`fetch` windows (windows
+        are disjoint by construction).  This is what the live replay
+        driver streams into a metric store bin by bin.
+        """
+        series = self._base_series(entity_type, entity, metric).copy()
+        for change in self.changes:
+            if not (self._impactful[change.change_id]
+                    and self._is_treated(change, entity_type, entity)):
+                continue
+            k = self._ordinal[change.change_id]
+            start = self.spec.lead_bins + k * self.spec.window_bins
+            _, sigma = _METRIC_MODELS[metric]
+            shift = self._direction[change.change_id] * _IMPACT_SIGMAS * sigma
+            series[start + self.spec.change_offset:
+                   start + self.spec.window_bins] += shift
+        return series
+
+    def history(self, change: SoftwareChange, entity_type: str, entity: str,
+                metric: str) -> np.ndarray:
+        """Public historical control (the rows :meth:`fetch` would use).
+
+        The replay driver passes this as the live pipeline's history
+        provider: the store's own recent past contains the impacts
+        earlier changes injected, whereas these rows are clean.
+        """
+        return self._history(change, entity_type, entity, metric)
+
     def truth(self, change: SoftwareChange, entity_type: str, entity: str,
               metric: str) -> bool:
         """Ground truth: did ``change`` impact this entity's KPI?"""

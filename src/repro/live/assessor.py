@@ -1,0 +1,295 @@
+"""The live assessor: fragments in, attributed verdicts out.
+
+One :class:`ChangeSession` exists per admitted software change.  It owns
+the change's ingest queues, one :class:`KpiTracker` (an
+:class:`~repro.live.detector.IncrementalDetector`) per monitored KPI,
+and growing buffers for the peer-control series.  The
+:class:`LiveAssessor` consumes drained fragments: treated fragments
+advance their tracker and, the moment a declaration fires, the DiD
+attribution of :meth:`repro.core.funnel.Funnel.attribute` runs on the
+buffered panels — peers for dark launches on machine-level KPIs, the
+history provider otherwise — and the verdict goes onto the bus.
+
+Panel equivalence with the offline engine: the DiD panels only read
+samples up to the declaration index (``post_hi = index + 1``), so
+attributing at declaration time from buffers is bit-identical to the
+offline engine slicing the full window.  When the declaring treated
+series is momentarily ahead of a control buffer (its peers' fragments
+for the same bin are still queued), the attribution parks on the
+session's pending list and retries as control fragments land.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..changes.change import SoftwareChange
+from ..core.funnel import Funnel
+from ..obs.metrics import MetricsRegistry
+from ..telemetry.kpi import KpiKey
+from ..telemetry.timeseries import TimeSeries
+from ..topology.impact import ImpactSet
+from ..types import DetectedChange
+from .bus import LiveVerdict, VerdictBus
+from .config import LiveConfig
+from .detector import IncrementalDetector
+from .queues import IngestQueues
+
+__all__ = ["KpiTracker", "ChangeSession", "LiveAssessor"]
+
+GAP_BINS_METRIC = "repro_live_gap_bins_total"
+CONTROL_DROPPED_METRIC = "repro_live_control_rows_dropped_total"
+
+ControlGroupKey = Tuple[str, str]  # (entity_type, metric)
+
+
+class _SeriesBuffer:
+    """A growable float column with its start time (control series)."""
+
+    __slots__ = ("start", "values", "length", "degraded")
+
+    def __init__(self, start: int) -> None:
+        self.start = start
+        self.values = np.empty(128, dtype=np.float64)
+        self.length = 0
+        self.degraded = False
+
+    def extend(self, values: np.ndarray) -> None:
+        needed = self.length + values.size
+        if needed > self.values.size:
+            grown = np.empty(max(2 * self.values.size, needed),
+                             dtype=np.float64)
+            grown[:self.length] = self.values[:self.length]
+            self.values = grown
+        self.values[self.length:needed] = values
+        self.length = needed
+
+    def view(self, n: int) -> np.ndarray:
+        return self.values[:n]
+
+
+class KpiTracker:
+    """One monitored (entity, KPI) of one change."""
+
+    def __init__(self, key: KpiKey, change_index: int, start_time: int,
+                 config: LiveConfig) -> None:
+        self.key = key
+        self.start_time = start_time
+        self.detector = IncrementalDetector(
+            change_index, config.funnel,
+            score_chunk_bins=config.score_chunk_bins)
+        self.change_index = change_index
+        self.degraded = False
+        self.done = False
+        self.declaration: Optional[DetectedChange] = None
+
+
+class ChangeSession:
+    """Everything the pipeline holds for one in-flight change."""
+
+    def __init__(self, change: SoftwareChange, impact: ImpactSet,
+                 priority: float, deadline: int,
+                 queues: IngestQueues) -> None:
+        self.change = change
+        self.impact = impact
+        self.priority = priority
+        self.deadline = deadline
+        self.queues = queues
+        self.trackers: Dict[KpiKey, KpiTracker] = {}
+        #: peer keys per (entity_type, metric), in the offline fetch order.
+        self.control_groups: Dict[ControlGroupKey, List[KpiKey]] = {}
+        self.control_buffers: Dict[KpiKey, _SeriesBuffer] = {}
+        #: attributions waiting for control buffers to catch up.
+        self.pending: List[KpiTracker] = []
+        self.expected_next: Dict[KpiKey, int] = {}
+        self.delivered_through: Dict[KpiKey, int] = {}
+        self.subscription = None
+        self.started_perf = time.perf_counter()
+        self.verdicts = 0
+
+    @property
+    def change_id(self) -> str:
+        return self.change.change_id
+
+    def subscribed_keys(self) -> List[KpiKey]:
+        return list(self.trackers) + list(self.control_buffers)
+
+    @property
+    def watermark(self) -> Optional[int]:
+        """The event time every subscribed KPI is processed through."""
+        if not self.delivered_through:
+            return None
+        return min(self.delivered_through.values())
+
+    def open_trackers(self) -> List[KpiTracker]:
+        return [t for t in self.trackers.values() if not t.done]
+
+
+class LiveAssessor:
+    """Routes drained fragments into trackers and attributes declarations."""
+
+    def __init__(self, config: LiveConfig, bus: VerdictBus,
+                 metrics: Optional[MetricsRegistry] = None,
+                 history_provider=None) -> None:
+        self.config = config
+        self.bus = bus
+        self.metrics = metrics or MetricsRegistry()
+        self.funnel = Funnel(config.funnel)
+        #: ``(change, entity_type, entity, metric) -> Optional[ndarray]``
+        #: of historical-control rows; ``None`` provider (or return)
+        #: routes the no-peer attribution to the uncontrolled verdict.
+        self.history_provider = history_provider
+
+    # -- fragment routing ------------------------------------------------------
+
+    def on_fragment(self, session: ChangeSession, key: KpiKey,
+                    fragment: TimeSeries, now: int) -> None:
+        session.delivered_through[key] = fragment.end
+        expected = session.expected_next.get(key)
+        if expected is not None and fragment.start != expected:
+            self._mark_gap(session, key, fragment, expected)
+            session.expected_next[key] = fragment.end
+            return
+        session.expected_next[key] = fragment.end
+
+        tracker = session.trackers.get(key)
+        if tracker is not None:
+            if tracker.done or tracker.degraded:
+                return
+            declared = tracker.detector.extend(fragment.values)
+            if declared is not None:
+                tracker.declaration = declared
+                self._attribute(session, tracker, now)
+            return
+
+        buffer = session.control_buffers.get(key)
+        if buffer is not None and not buffer.degraded:
+            buffer.extend(fragment.values)
+            if session.pending:
+                self._retry_pending(session, now)
+
+    def _mark_gap(self, session: ChangeSession, key: KpiKey,
+                  fragment: TimeSeries, expected: int) -> None:
+        gap_bins = max(1, (fragment.start - expected)
+                       // max(fragment.bin_seconds, 1))
+        self.metrics.counter(
+            GAP_BINS_METRIC,
+            help="Bins lost to shed fragments, per subscribed KPI.",
+        ).inc(gap_bins)
+        tracker = session.trackers.get(key)
+        if tracker is not None:
+            tracker.degraded = True
+        buffer = session.control_buffers.get(key)
+        if buffer is not None:
+            buffer.degraded = True
+
+    # -- attribution -----------------------------------------------------------
+
+    def _control_matrix(self, session: ChangeSession, tracker: KpiTracker
+                        ) -> Tuple[Optional[np.ndarray], bool]:
+        """The peer panel rows, or ``(None, wait)`` when unavailable.
+
+        ``wait`` is True when peers exist but have not yet delivered the
+        declaration bin — the caller should park the attribution and
+        retry; False means there is genuinely no peer control.
+        """
+        group = session.control_groups.get(
+            (tracker.key.entity_type, tracker.key.metric))
+        if not group:
+            return None, False
+        rows: List[_SeriesBuffer] = []
+        for peer_key in group:
+            buffer = session.control_buffers[peer_key]
+            if buffer.degraded or buffer.start != tracker.start_time:
+                self.metrics.counter(
+                    CONTROL_DROPPED_METRIC,
+                    help="Peer-control rows unusable at attribution "
+                         "time (gaps or misaligned backfill).").inc()
+                continue
+            rows.append(buffer)
+        if not rows:
+            return None, False
+        need = tracker.declaration.index + 1
+        length = min(buffer.length for buffer in rows)
+        if length < need:
+            return None, True
+        return np.vstack([buffer.view(length) for buffer in rows]), False
+
+    def _attribute(self, session: ChangeSession, tracker: KpiTracker,
+                   now: int, force: bool = False) -> bool:
+        """Run DiD for a declared tracker; False = parked as pending."""
+        control, wait = self._control_matrix(session, tracker)
+        if wait and not force:
+            if tracker not in session.pending:
+                session.pending.append(tracker)
+            return False
+        history = None
+        if control is None and self.history_provider is not None:
+            history = self.history_provider(
+                session.change, tracker.key.entity_type, tracker.key.entity,
+                tracker.key.metric)
+        assessment = self.funnel.attribute(
+            tracker.detector.series, tracker.declaration,
+            tracker.change_index, control=control, history=history)
+        self._emit(session, tracker, now, LiveVerdict(
+            change_id=session.change_id,
+            entity_type=tracker.key.entity_type,
+            entity=tracker.key.entity,
+            metric=tracker.key.metric,
+            verdict=assessment.verdict.value,
+            reason="declared",
+            emitted_at=now,
+            declaration_bin=tracker.declaration.index,
+            did_estimate=assessment.did_estimate,
+            control=assessment.control,
+            direction=tracker.declaration.direction,
+            notes=tuple(assessment.notes),
+        ))
+        return True
+
+    def _retry_pending(self, session: ChangeSession, now: int) -> None:
+        still_waiting = []
+        for tracker in session.pending:
+            if tracker.done:
+                continue
+            if not self._attribute(session, tracker, now):
+                still_waiting.append(tracker)
+        session.pending = still_waiting
+
+    def _emit(self, session: ChangeSession, tracker: KpiTracker, now: int,
+              verdict: LiveVerdict) -> None:
+        tracker.done = True
+        session.verdicts += 1
+        self.bus.publish(verdict)
+
+    # -- close -----------------------------------------------------------------
+
+    def close_session(self, session: ChangeSession, now: int) -> None:
+        """Deadline close: flush detectors, settle every open tracker.
+
+        Trackers that declare during the flush are attributed (with
+        whatever control rows exist — ``force=True`` falls back to
+        history / no-control when the peers never caught up); the rest
+        close as ``no_change``, with reason ``deadline`` or ``gap``.
+        """
+        for tracker in session.open_trackers():
+            if not tracker.degraded and tracker.declaration is None:
+                declared = tracker.detector.flush()
+                if declared is not None:
+                    tracker.declaration = declared
+            if tracker.declaration is not None and not tracker.degraded:
+                self._attribute(session, tracker, now, force=True)
+                continue
+            self._emit(session, tracker, now, LiveVerdict(
+                change_id=session.change_id,
+                entity_type=tracker.key.entity_type,
+                entity=tracker.key.entity,
+                metric=tracker.key.metric,
+                verdict="no_change",
+                reason="gap" if tracker.degraded else "deadline",
+                emitted_at=now,
+            ))
+        session.pending = []

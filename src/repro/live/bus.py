@@ -1,0 +1,131 @@
+"""The verdict bus: at-most-once delivery of live assessments.
+
+Every closed (change, entity, KPI) item produces exactly one
+:class:`LiveVerdict` — declared-and-attributed, deadline ``no_change``,
+or degraded (``gap``).  The bus deduplicates on the item key, fans each
+verdict out to its subscribers once, and counts what it saw; the JSONL
+sink is the durable tap the CLI and CI artifacts use.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Optional, TextIO, Tuple
+
+from ..obs.metrics import MetricsRegistry
+
+__all__ = ["LiveVerdict", "VerdictBus", "JsonlVerdictSink"]
+
+VERDICTS_METRIC = "repro_live_verdicts_total"
+DUPLICATES_METRIC = "repro_live_duplicate_verdicts_total"
+
+VerdictKey = Tuple[str, str, str, str]
+
+
+@dataclass(frozen=True)
+class LiveVerdict:
+    """One item's final live answer.
+
+    ``reason`` records *why* the item closed: ``"declared"`` (a change
+    was declared and attributed), ``"deadline"`` (the assessment window
+    elapsed with no declaration), or ``"gap"`` (load shedding punched a
+    hole in the item's stream, so no sound verdict was possible).
+    ``declaration_bin`` is the window-relative bin of the declaration —
+    the same index the offline engine reports — or ``None``.
+    ``emitted_at`` is the (virtual) time the verdict left the pipeline.
+    """
+
+    change_id: str
+    entity_type: str
+    entity: str
+    metric: str
+    verdict: str
+    reason: str
+    emitted_at: int
+    declaration_bin: Optional[int] = None
+    did_estimate: Optional[float] = None
+    control: Optional[str] = None
+    direction: int = 0
+    notes: Tuple[str, ...] = ()
+
+    @property
+    def key(self) -> VerdictKey:
+        return (self.change_id, self.entity_type, self.entity, self.metric)
+
+    def parity_tuple(self) -> tuple:
+        """The fields live and offline must agree on (see docs/live.md)."""
+        return (self.change_id, self.entity_type, self.entity, self.metric,
+                self.verdict, self.declaration_bin)
+
+    def as_dict(self) -> dict:
+        doc = asdict(self)
+        doc["notes"] = list(self.notes)
+        return doc
+
+
+class VerdictBus:
+    """Fan-out with at-most-once delivery per (change, entity, KPI).
+
+    A key is marked seen *before* its verdict is delivered, so a failing
+    subscriber can never cause a redelivery; a second publish for the
+    same key is dropped and counted.
+    """
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        self.metrics = metrics or MetricsRegistry()
+        self.verdicts: List[LiveVerdict] = []
+        self._seen: Dict[VerdictKey, bool] = {}
+        self._subscribers: List[Callable[[LiveVerdict], None]] = []
+
+    def subscribe(self, subscriber: Callable[[LiveVerdict], None]) -> None:
+        self._subscribers.append(subscriber)
+
+    def publish(self, verdict: LiveVerdict) -> bool:
+        """Deliver ``verdict`` unless its key was already published."""
+        if verdict.key in self._seen:
+            self.metrics.counter(
+                DUPLICATES_METRIC,
+                help="Verdicts dropped by at-most-once delivery.").inc()
+            return False
+        self._seen[verdict.key] = True
+        self.verdicts.append(verdict)
+        self.metrics.counter(
+            VERDICTS_METRIC, help="Verdicts published on the bus."
+        ).inc(verdict=verdict.verdict, reason=verdict.reason)
+        for subscriber in tuple(self._subscribers):
+            subscriber(verdict)
+        return True
+
+    def __len__(self) -> int:
+        return len(self.verdicts)
+
+
+class JsonlVerdictSink:
+    """Bus subscriber writing one JSON object per verdict line."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.written = 0
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._fh: Optional[TextIO] = open(path, "w", encoding="utf-8")
+
+    def __call__(self, verdict: LiveVerdict) -> None:
+        if self._fh is None:
+            return
+        self._fh.write(json.dumps(verdict.as_dict(), sort_keys=True) + "\n")
+        self.written += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlVerdictSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

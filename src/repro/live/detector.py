@@ -1,0 +1,193 @@
+"""Push-driven FUNNEL detection, bit-identical to the offline path.
+
+:class:`IncrementalDetector` re-implements
+:meth:`repro.core.funnel.Funnel.detect` as a streaming computation over
+a growing prefix, exploiting two structural facts:
+
+* the score at position ``t`` is a pure function of the normalised
+  samples ``x[t - span : t + span]`` (``span = 2*omega - 1``), so each
+  arriving bin makes exactly one more score computable and a batched
+  call over the newly eligible range returns values **bitwise equal**
+  to the offline full-array call;
+* :func:`repro.core.scoring.declare_changes` is prefix-stable: scanning
+  a prefix finds exactly the full-scan declarations visible in it, so
+  applying :func:`repro.core.scoring.confirm_candidate` candidate by
+  candidate as scores appear yields the same first reportable
+  declaration (same ``index``, ``start_index`` and ``direction``) the
+  offline engine attributes.
+
+The declared change's ``score`` and ``kind`` fields are the exception:
+offline computes them with samples *after* the declaration bin (the
+zero-filled score tail and the classifier's forward context), which a
+live detector by definition does not have yet.  Both are reported from
+the data available at declaration time and are excluded from the
+live-vs-offline parity contract (see ``docs/live.md``).
+
+``score_chunk_bins`` batches scoring calls: with chunk ``c`` the
+detector scores once every ``c`` bins, amortising the fixed per-call
+cost.  Declarations are still found at the same indices — at most
+``c - 1`` bins later in arrival time — and :meth:`flush` (called at the
+change deadline) scores any remainder, so no declaration is ever lost
+to chunking.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.funnel import FunnelConfig
+from ..core.ika import IkaSST
+from ..core.robust import MAD_TO_SIGMA, median_and_mad
+from ..core.scoring import confirm_candidate
+from ..types import DetectedChange
+
+__all__ = ["IncrementalDetector"]
+
+_MIN_CAPACITY = 128
+
+
+class IncrementalDetector:
+    """Streaming change detection for one KPI around one software change.
+
+    Feed bins with :meth:`extend`; the first reportable declaration
+    (``start_index >= change_index - 1``, mirroring the offline filter)
+    is returned once and stored as :attr:`declared`.
+    """
+
+    def __init__(self, change_index: int,
+                 config: Optional[FunnelConfig] = None,
+                 score_chunk_bins: int = 1) -> None:
+        self.config = config or FunnelConfig()
+        self.scorer = IkaSST(self.config.sst)
+        self.change_index = change_index
+        self.score_chunk_bins = max(1, score_chunk_bins)
+        #: Samples each score consumes on either side of its position.
+        self.span = self.config.sst.lead
+        #: The wall-clock lag declare_changes charges the score with.
+        self.lookahead = self.config.sst.lookahead - 1
+        self._values = np.empty(_MIN_CAPACITY, dtype=np.float64)
+        self._norm = np.empty(_MIN_CAPACITY, dtype=np.float64)
+        self._scores = np.zeros(_MIN_CAPACITY, dtype=np.float64)
+        self._n = 0
+        self._stats: Optional[tuple] = None
+        self._denominator = 0.0
+        self._next_score_t = self.span
+        self._scan_t = 0
+        self.declared: Optional[DetectedChange] = None
+
+    # -- state ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def series(self) -> np.ndarray:
+        """The raw samples received so far (view; do not mutate)."""
+        return self._values[:self._n]
+
+    @property
+    def scores(self) -> np.ndarray:
+        """Scores computed so far (zeros where not yet computable)."""
+        return self._scores[:self._n]
+
+    # -- ingest ---------------------------------------------------------------
+
+    def _grow(self, needed: int) -> None:
+        if needed <= self._values.size:
+            return
+        capacity = max(2 * self._values.size, needed)
+        for name in ("_values", "_norm", "_scores"):
+            old = getattr(self, name)
+            grown = (np.zeros if name == "_scores" else np.empty)(
+                capacity, dtype=np.float64)
+            grown[:self._n] = old[:self._n]
+            setattr(self, name, grown)
+
+    def extend(self, values: np.ndarray,
+               flush: bool = False) -> Optional[DetectedChange]:
+        """Append bins; returns the declaration the moment it fires."""
+        values = np.asarray(values, dtype=np.float64).ravel()
+        old_n = self._n
+        self._grow(old_n + values.size)
+        self._values[old_n:old_n + values.size] = values
+        self._n = old_n + values.size
+
+        baseline = max(self.change_index, 1)
+        if self._stats is None and self._n >= baseline:
+            med, scale = median_and_mad(self._values[:baseline])
+            self._stats = (med, scale)
+            # Same expression as robust_normalise, so the normalised
+            # prefix is bitwise identical to the offline transform.
+            self._denominator = MAD_TO_SIGMA * scale + 1e-9
+            self._norm[:self._n] = (
+                self._values[:self._n] - med) / self._denominator
+        elif self._stats is not None:
+            med = self._stats[0]
+            self._norm[old_n:self._n] = (
+                self._values[old_n:self._n] - med) / self._denominator
+
+        if self._stats is None:
+            return None
+        self._score(flush=flush)
+        return self._scan()
+
+    def flush(self) -> Optional[DetectedChange]:
+        """Score and scan everything computable (deadline close)."""
+        if self._stats is None or self.declared is not None:
+            return None
+        self._score(flush=True)
+        return self._scan()
+
+    # -- scoring --------------------------------------------------------------
+
+    def _score(self, flush: bool) -> None:
+        t_hi = self._n - self.span
+        t_lo = self._next_score_t
+        if t_hi < t_lo:
+            return
+        if not flush and t_hi - t_lo + 1 < self.score_chunk_bins:
+            return
+        segment = self._norm[t_lo - self.span:t_hi + self.span]
+        segment_scores = self.scorer.scores(segment)
+        self._scores[t_lo:t_hi + 1] = \
+            segment_scores[self.span:self.span + (t_hi - t_lo + 1)]
+        self._next_score_t = t_hi + 1
+
+    # -- declaration scan ------------------------------------------------------
+
+    def _scan(self) -> Optional[DetectedChange]:
+        if self.declared is not None:
+            return None
+        policy = self.config.policy
+        n = self._n
+        # A candidate is only *attemptable* once its score exists and
+        # its persistence window plus declaration index fit the prefix.
+        limit = min(self._next_score_t, n - self.span + 1)
+        if limit <= self._scan_t:
+            return None
+        armed = np.flatnonzero(
+            self._scores[self._scan_t:limit] > policy.score_threshold)
+        for candidate in (armed + self._scan_t):
+            candidate = int(candidate)
+            if candidate < self._scan_t:
+                continue  # skipped by an earlier confirmed window
+            horizon = candidate + max(
+                policy.persistence,
+                max(policy.persistence - 1, self.lookahead) + 1)
+            if horizon > n:
+                # Not decidable yet — retry from here on the next push.
+                self._scan_t = candidate
+                return None
+            declared = confirm_candidate(
+                self._norm[:n], self._scores[:n], candidate, policy,
+                lookahead=self.lookahead)
+            if declared is None:
+                self._scan_t = candidate + 1
+                continue
+            self._scan_t = declared.index + 1
+            if declared.start_index >= self.change_index - 1:
+                self.declared = declared
+                return declared
+        return None

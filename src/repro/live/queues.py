@@ -1,0 +1,119 @@
+"""Bounded per-KPI ingest queues with explicit load shedding.
+
+The metric store pushes fragments synchronously; the live service never
+processes them inline.  Each admitted change owns one
+:class:`IngestQueues` holding a bounded deque per subscribed KPI: the
+subscription callback *offers* fragments here and the event-time
+scheduler *drains* them under its per-tick budget.  When a queue is
+full the configured policy sheds a fragment — stale first by default —
+and a counter records every shed, so overload degrades the answers
+(gaps, late emissions) instead of growing memory without bound.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterator, List, Optional, Tuple
+
+from ..obs.metrics import MetricsRegistry
+from ..telemetry.kpi import KpiKey
+from ..telemetry.timeseries import TimeSeries
+from .config import DROP_NEWEST, DROP_OLDEST
+
+__all__ = ["IngestQueues"]
+
+FRAGMENTS_METRIC = "repro_live_fragments_total"
+SHED_FRAGMENTS_METRIC = "repro_live_shed_fragments_total"
+
+
+class IngestQueues:
+    """Bounded fragment queues for one change's subscribed KPIs."""
+
+    def __init__(self, capacity: int, policy: str = DROP_OLDEST,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        self.capacity = capacity
+        self.policy = policy
+        self.metrics = metrics or MetricsRegistry()
+        self._queues: Dict[KpiKey, Deque[TimeSeries]] = {}
+        self._rotate = 0
+        self.depth = 0
+        self.shed = 0
+
+    # -- producer side --------------------------------------------------------
+
+    def offer(self, key: KpiKey, fragment: TimeSeries) -> bool:
+        """Enqueue ``fragment``; returns False when it was shed.
+
+        A full queue sheds according to the policy: ``drop_oldest``
+        evicts the stalest queued fragment to make room (the arriving
+        fragment is kept — freshness wins, at the cost of a gap the
+        tracker will notice); ``drop_newest`` sheds the arrival.
+        """
+        self.metrics.counter(
+            FRAGMENTS_METRIC, help="Fragments offered to ingest queues."
+        ).inc()
+        queue = self._queues.get(key)
+        if queue is None:
+            queue = deque()
+            self._queues[key] = queue
+        if len(queue) >= self.capacity:
+            if self.policy == DROP_NEWEST:
+                self._count_shed(self.policy)
+                return False
+            queue.popleft()
+            self.depth -= 1
+            self._count_shed(self.policy)
+        queue.append(fragment)
+        self.depth += 1
+        return True
+
+    def _count_shed(self, policy: str, n: int = 1) -> None:
+        self.shed += n
+        self.metrics.counter(
+            SHED_FRAGMENTS_METRIC,
+            help="Fragments shed by queue bounds or change close.",
+        ).inc(n, policy=policy)
+
+    # -- consumer side --------------------------------------------------------
+
+    def drain(self, budget: int = 0
+              ) -> Iterator[Tuple[KpiKey, TimeSeries]]:
+        """Pop fragments round-robin across keys, oldest first.
+
+        Yields at most ``budget`` fragments (0 = everything queued when
+        the drain started).  Round-robin keeps one noisy KPI from
+        starving the rest under a tight budget, and successive budgeted
+        drains resume after the last key served — without that rotation
+        a budget below the key count would starve the tail of the sorted
+        key order forever.  Order is deterministic for a given history.
+        """
+        remaining = budget if budget > 0 else self.depth
+        keys: List[KpiKey] = sorted(self._queues, key=str)
+        if not keys:
+            return
+        start = self._rotate % len(keys)
+        order = keys[start:] + keys[:start]
+        while remaining > 0 and self.depth > 0:
+            progressed = False
+            for position, key in enumerate(order):
+                queue = self._queues.get(key)
+                if not queue:
+                    continue
+                self._rotate = (start + position + 1) % len(keys)
+                yield key, queue.popleft()
+                self.depth -= 1
+                progressed = True
+                remaining -= 1
+                if remaining <= 0:
+                    break
+            if not progressed:
+                break
+
+    def discard(self) -> int:
+        """Drop everything still queued (change close); returns count."""
+        dropped = self.depth
+        if dropped:
+            self._count_shed("close", dropped)
+        self._queues.clear()
+        self.depth = 0
+        return dropped

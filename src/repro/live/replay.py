@@ -1,0 +1,249 @@
+"""Replay a synthetic fleet scenario through the live pipeline.
+
+The replay driver is the zero-to-aha proof of the live subsystem: it
+takes the same :class:`~repro.engine.fleet.FleetScenarioSpec` the
+offline ``repro assess-fleet`` command assesses, streams every fleet
+KPI into a :class:`~repro.telemetry.store.MetricStore` bin by bin in
+accelerated virtual time (:class:`~repro.simulation.clock`), drives the
+:class:`~repro.live.service.LiveAssessmentService` one tick per flush,
+and — optionally — runs the offline engine on the identical scenario to
+verify the **parity contract**: live and offline must produce identical
+``(change, entity_type, entity, metric, verdict, declaration_bin)``
+sets.
+
+Two knobs make parity hold by construction and are therefore set here,
+not in :class:`~repro.live.config.LiveConfig` defaults:
+
+* ``assessment_window_seconds`` becomes the scenario's post-change
+  window length, so the live deadline closes exactly where the offline
+  window ends;
+* the history provider is the *source's* clean historical rows — the
+  store's own recent past contains the impacts earlier replayed changes
+  injected, which the offline engine never sees.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..changes.log import ChangeLog
+from ..engine.engine import AssessmentEngine
+from ..engine.fleet import FleetScenarioSpec, SyntheticFleetSource
+from ..engine.planner import ENTITY_METRICS
+from ..obs.context import ObsContext
+from ..simulation.clock import SimulationClock
+from ..telemetry.kpi import KpiKey
+from ..telemetry.store import MetricStore
+from ..telemetry.timeseries import MINUTE, TimeSeries
+from .bus import LiveVerdict
+from .config import LiveConfig
+from .service import LiveAssessmentService
+
+__all__ = ["LiveReplayReport", "parity_live_config", "replay_scenario",
+           "offline_verdict_records", "fleet_kpi_keys"]
+
+REPLAY_SPAN = "live_replay"
+
+ParityRecord = Tuple[str, str, str, str, str, Optional[int]]
+
+
+def parity_live_config(spec: FleetScenarioSpec, funnel_config=None,
+                       **overrides) -> LiveConfig:
+    """The :class:`LiveConfig` under which live == offline on ``spec``."""
+    base = dict(
+        assessment_window_seconds=(
+            (spec.window_bins - spec.change_offset) * MINUTE),
+        baseline_bins=spec.change_offset,
+        max_control_units=spec.max_control_units,
+        history_days=spec.history_days,
+    )
+    if funnel_config is not None:
+        base["funnel"] = funnel_config
+    base.update(overrides)
+    return LiveConfig(**base)
+
+
+def fleet_kpi_keys(source: SyntheticFleetSource) -> List[KpiKey]:
+    """Every KPI the scenario's fleet emits, in a stable order."""
+    keys: List[KpiKey] = []
+    for service_name in source.fleet.service_names:
+        for metric in ENTITY_METRICS["service"]:
+            keys.append(KpiKey("service", service_name, metric))
+        for hostname in source.fleet.service(service_name).hostnames:
+            for metric in ENTITY_METRICS["server"]:
+                keys.append(KpiKey("server", hostname, metric))
+            for metric in ENTITY_METRICS["instance"]:
+                keys.append(KpiKey(
+                    "instance", "%s@%s" % (service_name, hostname), metric))
+    return keys
+
+
+def offline_verdict_records(source: SyntheticFleetSource,
+                            funnel_config=None) -> List[ParityRecord]:
+    """The offline engine's answers, shaped for the parity comparison."""
+    engine = AssessmentEngine(detectors=("funnel",),
+                              funnel_config=funnel_config)
+    _, jobs, results = engine.assess_fleet_detailed(source)
+    records = []
+    for job, result in zip(jobs, results):
+        verdict = (result.verdict.value if result.verdict is not None
+                   else "no_change")
+        records.append((job.change_id, job.entity_type, job.entity,
+                        job.metric, verdict, result.outcome.detection_index))
+    return sorted(records, key=_record_key)
+
+
+def _record_key(record: ParityRecord) -> tuple:
+    return tuple("" if part is None else str(part) for part in record)
+
+
+@dataclass
+class LiveReplayReport:
+    """What one replay produced, measured, and (optionally) verified."""
+
+    verdicts: List[LiveVerdict] = field(default_factory=list)
+    ticks: int = 0
+    fragments_streamed: int = 0
+    wall_seconds: float = 0.0
+    service_report: dict = field(default_factory=dict)
+    #: live-vs-offline comparison, present when ``check_offline`` ran.
+    parity: Optional[dict] = None
+    #: per-declared-verdict ``declaration_bin - change_index``.
+    detection_lag_bins: List[int] = field(default_factory=list)
+    #: per-verdict seconds between deployment and verdict emission.
+    emission_lag_seconds: List[int] = field(default_factory=list)
+
+    @property
+    def parity_ok(self) -> Optional[bool]:
+        return None if self.parity is None else self.parity["ok"]
+
+    @property
+    def fragments_per_second(self) -> Optional[float]:
+        if self.wall_seconds <= 0:
+            return None
+        return self.fragments_streamed / self.wall_seconds
+
+    def live_records(self) -> List[ParityRecord]:
+        return sorted((v.parity_tuple() for v in self.verdicts),
+                      key=_record_key)
+
+    def as_dict(self) -> dict:
+        """The JSON document ``repro live-replay`` prints."""
+        doc = {
+            "verdicts": len(self.verdicts),
+            "ticks": self.ticks,
+            "fragments_streamed": self.fragments_streamed,
+            "wall_seconds": self.wall_seconds,
+            "fragments_per_second": self.fragments_per_second,
+            "service": self.service_report,
+            "detection_lag_bins": list(self.detection_lag_bins),
+            "emission_lag_seconds": list(self.emission_lag_seconds),
+        }
+        if self.parity is not None:
+            doc["parity"] = {
+                "ok": self.parity["ok"],
+                "live_records": self.parity["live_count"],
+                "offline_records": self.parity["offline_count"],
+                "live_only": [list(r) for r in self.parity["live_only"]],
+                "offline_only": [list(r)
+                                 for r in self.parity["offline_only"]],
+            }
+        return doc
+
+
+def replay_scenario(spec: Optional[FleetScenarioSpec] = None,
+                    live_config: Optional[LiveConfig] = None,
+                    flush_bins: int = 1,
+                    check_offline: bool = False,
+                    obs: Optional[ObsContext] = None,
+                    sink=None, priority=None) -> LiveReplayReport:
+    """Stream ``spec`` through the live pipeline in virtual time.
+
+    Args:
+        spec: the scenario (defaults mirror ``repro assess-fleet``).
+        live_config: pipeline knobs; defaults to
+            :func:`parity_live_config` — pass an explicit config (small
+            queues, drain budgets) to exercise overload behaviour.
+        flush_bins: bins per streamed fragment — agents flushing less
+            often than the collection interval.
+        check_offline: also run the offline engine and fill ``parity``.
+        obs: observability context; the whole replay runs under one
+            ``live_replay`` span with one ``live_change`` span per
+            closed change, and all live counters/gauges land in the
+            context's registry.
+        sink: optional verdict-bus subscriber (e.g. a
+            :class:`~repro.live.bus.JsonlVerdictSink`).
+        priority: optional admission-priority override.
+    """
+    if flush_bins < 1:
+        raise ValueError("flush_bins must be >= 1")
+    source = SyntheticFleetSource(spec)
+    spec = source.spec
+    config = live_config or parity_live_config(spec)
+
+    log = ChangeLog()
+    for change in source.changes:
+        log.record(change)
+
+    store = MetricStore(bin_seconds=MINUTE)
+    service = LiveAssessmentService(
+        store, log, source.fleet, config=config, obs=obs,
+        history_provider=source.history, priority=priority)
+    if sink is not None:
+        service.bus.subscribe(sink)
+
+    keys = fleet_kpi_keys(source)
+    arrays = {key: source.observed_series(key.entity_type, key.entity,
+                                          key.metric) for key in keys}
+    at_time: Dict[str, int] = {c.change_id: c.at_time
+                               for c in source.changes}
+
+    clock = SimulationClock(start=spec.lead_bins * MINUTE)
+    stream_bins = spec.n_changes * spec.window_bins
+    report = LiveReplayReport()
+    observed = obs is not None and obs.enabled
+    root = obs.tracer.span(REPLAY_SPAN) if observed else nullcontext()
+
+    started = time.perf_counter()
+    with root:
+        offset = 0
+        while offset < stream_bins:
+            chunk = min(flush_bins, stream_bins - offset)
+            absolute_bin = spec.lead_bins + offset
+            start_time = absolute_bin * MINUTE
+            for key in keys:
+                store.append(key, TimeSeries(
+                    start_time, MINUTE,
+                    arrays[key][absolute_bin:absolute_bin + chunk]))
+                report.fragments_streamed += 1
+            now = clock.advance_minutes(chunk)
+            service.on_tick(now)
+            report.ticks += 1
+            offset += chunk
+        service.shutdown(clock.now)
+    report.wall_seconds = time.perf_counter() - started
+
+    report.verdicts = list(service.bus.verdicts)
+    report.service_report = service.report()
+    for verdict in report.verdicts:
+        report.emission_lag_seconds.append(
+            verdict.emitted_at - at_time[verdict.change_id])
+        if verdict.declaration_bin is not None:
+            report.detection_lag_bins.append(
+                verdict.declaration_bin - spec.change_offset)
+
+    if check_offline:
+        live = report.live_records()
+        offline = offline_verdict_records(source, funnel_config=config.funnel)
+        live_set, offline_set = set(live), set(offline)
+        report.parity = {
+            "ok": live_set == offline_set,
+            "live_count": len(live),
+            "offline_count": len(offline),
+            "live_only": sorted(live_set - offline_set, key=_record_key),
+            "offline_only": sorted(offline_set - live_set, key=_record_key),
+        }
+    return report

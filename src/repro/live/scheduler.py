@@ -1,0 +1,130 @@
+"""The event-time scheduler: poll, drain, close — on every tick.
+
+One :meth:`EventTimeScheduler.tick` runs the live pipeline's control
+loop for one virtual instant ``now``:
+
+1. **poll** — the watcher admits changes whose deployment time passed;
+2. **drain** — queued fragments flow into the assessor under the global
+   per-tick budget (``max_fragments_per_tick``), oldest change first so
+   the session nearest its deadline gets served before fresher ones;
+3. **close** — every session whose deadline passed is settled: its
+   detectors flush, open items emit ``no_change``, the subscription is
+   cancelled.
+
+Between steps the scheduler maintains the pipeline's event-time health
+gauges: per-change *watermarks* (the oldest event time any subscribed
+KPI is processed through), total and peak queue depth, active changes
+and store subscriptions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..obs.metrics import MetricsRegistry
+from ..telemetry.store import MetricStore
+from .assessor import ChangeSession, LiveAssessor
+from .config import LiveConfig
+from .watcher import ChangeWatcher
+
+__all__ = ["EventTimeScheduler"]
+
+QUEUE_DEPTH_GAUGE = "repro_live_queue_depth"
+PEAK_QUEUE_DEPTH_GAUGE = "repro_live_peak_queue_depth"
+WATERMARK_LAG_GAUGE = "repro_live_watermark_lag_seconds"
+ACTIVE_CHANGES_GAUGE = "repro_live_active_changes"
+ACTIVE_SUBSCRIPTIONS_GAUGE = "repro_live_active_subscriptions"
+
+
+class EventTimeScheduler:
+    """Drives watcher, queues and assessor in virtual time."""
+
+    def __init__(self, watcher: ChangeWatcher, assessor: LiveAssessor,
+                 store: MetricStore, config: LiveConfig,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        self.watcher = watcher
+        self.assessor = assessor
+        self.store = store
+        self.config = config
+        self.metrics = metrics or MetricsRegistry()
+        self.peak_queue_depth = 0
+        self.closed_count = 0
+
+    def tick(self, now: int) -> List[ChangeSession]:
+        """Run one control-loop pass; returns the sessions closed."""
+        self.watcher.poll(now)
+        self._note_depth()  # ingest since the last tick
+        self._drain(now)
+        closed = self._close_due(now)
+        self._update_gauges(now)
+        return closed
+
+    # -- draining --------------------------------------------------------------
+
+    def _sessions_by_age(self) -> List[ChangeSession]:
+        return sorted(self.watcher.sessions.values(),
+                      key=lambda s: (s.change.at_time, s.change_id))
+
+    def _drain(self, now: int) -> None:
+        budget = self.config.max_fragments_per_tick
+        remaining = budget if budget > 0 else 0
+        for session in self._sessions_by_age():
+            if budget > 0 and remaining <= 0:
+                break
+            drained = 0
+            for key, fragment in session.queues.drain(budget=remaining):
+                self.assessor.on_fragment(session, key, fragment, now)
+                drained += 1
+            if budget > 0:
+                remaining -= drained
+
+    # -- deadlines -------------------------------------------------------------
+
+    def _close_due(self, now: int) -> List[ChangeSession]:
+        closed = []
+        for session in self._sessions_by_age():
+            if session.deadline > now:
+                continue
+            self.assessor.close_session(session, now)
+            self.watcher.finish(session)
+            closed.append(session)
+        self.closed_count += len(closed)
+        return closed
+
+    # -- health ----------------------------------------------------------------
+
+    def queue_depth(self) -> int:
+        return sum(s.queues.depth for s in self.watcher.sessions.values())
+
+    def watermark_lag(self, now: int) -> int:
+        """Worst event-time lag across active sessions, in seconds."""
+        lag = 0
+        for session in self.watcher.sessions.values():
+            watermark = session.watermark
+            if watermark is not None:
+                lag = max(lag, now - watermark)
+        return lag
+
+    def _note_depth(self) -> None:
+        self.peak_queue_depth = max(self.peak_queue_depth,
+                                    self.queue_depth())
+
+    def _update_gauges(self, now: int) -> None:
+        self._note_depth()
+        self.metrics.gauge(
+            QUEUE_DEPTH_GAUGE, help="Fragments queued across sessions."
+        ).set(self.queue_depth())
+        self.metrics.gauge(
+            PEAK_QUEUE_DEPTH_GAUGE, help="Peak total queue depth."
+        ).set(self.peak_queue_depth)
+        self.metrics.gauge(
+            WATERMARK_LAG_GAUGE,
+            help="Worst per-change event-time lag.").set(
+            self.watermark_lag(now))
+        self.metrics.gauge(
+            ACTIVE_CHANGES_GAUGE, help="Changes currently under assessment."
+        ).set(len(self.watcher.sessions))
+        self.metrics.gauge(
+            ACTIVE_SUBSCRIPTIONS_GAUGE,
+            help="Live subscriptions on the metric store.").set(
+            self.store.subscription_count())

@@ -11,11 +11,17 @@ receive the subscribed measurements."
 :class:`~repro.telemetry.kpi.KpiKey`, merges appends, serves range
 queries, and pushes appended data to subscribers (FUNNEL's online
 pipeline registers one subscription per impact set).
+
+Appends are amortized O(1) per fragment: each key owns a geometrically
+over-allocated column buffer, so a KPI receiving one bin per minute for
+a day costs one reallocation every doubling instead of a full-history
+copy per push.  The materialised :class:`TimeSeries` view is cached per
+key and invalidated by the next append.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional
 
 import numpy as np
@@ -28,6 +34,9 @@ __all__ = ["MetricStore", "Subscription"]
 
 Callback = Callable[[KpiKey, TimeSeries], None]
 
+#: Initial column capacity, in bins.
+_MIN_CAPACITY = 64
+
 
 @dataclass
 class Subscription:
@@ -36,9 +45,40 @@ class Subscription:
     keys: frozenset
     callback: Callback
     active: bool = True
+    _store: Optional["MetricStore"] = field(default=None, repr=False,
+                                            compare=False)
 
     def cancel(self) -> None:
+        """Deactivate and unregister: a cancelled subscription costs the
+        store nothing — it is pruned from the push list immediately, not
+        merely skipped on every future append."""
         self.active = False
+        if self._store is not None:
+            self._store._drop(self)
+            self._store = None
+
+
+class _Column:
+    """One key's growable storage: start time + over-allocated values."""
+
+    __slots__ = ("start", "values", "length")
+
+    def __init__(self, start: int, values: np.ndarray) -> None:
+        self.start = start
+        self.length = int(values.size)
+        capacity = max(_MIN_CAPACITY, 2 * self.length)
+        self.values = np.empty(capacity, dtype=np.float64)
+        self.values[:self.length] = values
+
+    def extend(self, values: np.ndarray) -> None:
+        needed = self.length + int(values.size)
+        if needed > self.values.size:
+            grown = np.empty(max(2 * self.values.size, needed),
+                             dtype=np.float64)
+            grown[:self.length] = self.values[:self.length]
+            self.values = grown
+        self.values[self.length:needed] = values
+        self.length = needed
 
 
 class MetricStore:
@@ -55,7 +95,8 @@ class MetricStore:
 
     def __init__(self, bin_seconds: int = MINUTE) -> None:
         self.bin_seconds = bin_seconds
-        self._series: Dict[KpiKey, TimeSeries] = {}
+        self._columns: Dict[KpiKey, _Column] = {}
+        self._views: Dict[KpiKey, TimeSeries] = {}
         self._subscriptions: List[Subscription] = []
 
     # -- writes ---------------------------------------------------------------
@@ -72,43 +113,51 @@ class MetricStore:
                 "fragment bin width %d != store bin width %d"
                 % (fragment.bin_seconds, self.bin_seconds)
             )
-        existing = self._series.get(key)
-        if existing is None:
-            self._series[key] = fragment
+        column = self._columns.get(key)
+        if column is None:
+            self._columns[key] = _Column(fragment.start, fragment.values)
         else:
-            if fragment.start != existing.end:
+            end = column.start + column.length * self.bin_seconds
+            if fragment.start != end:
                 raise TelemetryError(
                     "fragment for %s starts at %d, expected %d"
-                    % (key, fragment.start, existing.end)
+                    % (key, fragment.start, end)
                 )
-            self._series[key] = TimeSeries(
-                start=existing.start,
-                bin_seconds=self.bin_seconds,
-                values=np.concatenate([existing.values, fragment.values]),
-            )
+            column.extend(fragment.values)
+        self._views.pop(key, None)
         self._push(key, fragment)
 
     def _push(self, key: KpiKey, fragment: TimeSeries) -> None:
-        for sub in self._subscriptions:
+        # Snapshot: a callback may subscribe or cancel (mutating the
+        # list) while this append is being delivered.
+        for sub in tuple(self._subscriptions):
             if sub.active and key in sub.keys:
                 sub.callback(key, fragment)
 
     # -- reads ---------------------------------------------------------------
 
     def __contains__(self, key: KpiKey) -> bool:
-        return key in self._series
+        return key in self._columns
 
     def keys(self) -> List[KpiKey]:
-        return sorted(self._series, key=str)
+        return sorted(self._columns, key=str)
 
     def series(self, key: KpiKey) -> TimeSeries:
-        try:
-            return self._series[key]
-        except KeyError:
-            raise TelemetryError("no measurements stored for %s" % key) from None
+        view = self._views.get(key)
+        if view is not None:
+            return view
+        column = self._columns.get(key)
+        if column is None:
+            raise TelemetryError("no measurements stored for %s" % key)
+        view = TimeSeries(start=column.start, bin_seconds=self.bin_seconds,
+                          values=column.values[:column.length])
+        self._views[key] = view
+        return view
 
     def maybe_series(self, key: KpiKey) -> Optional[TimeSeries]:
-        return self._series.get(key)
+        if key not in self._columns:
+            return None
+        return self.series(key)
 
     def range(self, key: KpiKey, from_time: int, to_time: int) -> TimeSeries:
         """Measurements of ``key`` over ``[from_time, to_time)``."""
@@ -140,11 +189,18 @@ class MetricStore:
     def subscribe(self, keys: Iterable[KpiKey],
                   callback: Callback) -> Subscription:
         """Register ``callback`` for every future append to ``keys``."""
-        sub = Subscription(keys=frozenset(keys), callback=callback)
+        sub = Subscription(keys=frozenset(keys), callback=callback,
+                           _store=self)
         if not sub.keys:
             raise TelemetryError("subscription must name at least one KPI")
         self._subscriptions.append(sub)
         return sub
+
+    def _drop(self, sub: Subscription) -> None:
+        try:
+            self._subscriptions.remove(sub)
+        except ValueError:
+            pass
 
     def subscription_count(self) -> int:
         return sum(1 for s in self._subscriptions if s.active)

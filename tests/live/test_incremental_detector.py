@@ -1,0 +1,159 @@
+"""The streaming detector must match the offline FUNNEL bit for bit."""
+
+import numpy as np
+import pytest
+
+from repro.core.funnel import Funnel, FunnelConfig
+from repro.live.detector import IncrementalDetector
+
+
+def offline_first_declaration(series, change_index, config=None):
+    changes = Funnel(config).detect(series, change_index)
+    return changes[0] if changes else None
+
+
+def stream(series, change_index, chunk_schedule, config=None,
+           score_chunk_bins=1):
+    """Feed ``series`` in pieces; returns (detector, declaration)."""
+    detector = IncrementalDetector(change_index, config,
+                                   score_chunk_bins=score_chunk_bins)
+    declared = None
+    position = 0
+    for size in chunk_schedule:
+        piece = series[position:position + size]
+        if piece.size == 0:
+            break
+        result = detector.extend(piece)
+        if declared is None:
+            declared = result
+        position += size
+    if declared is None:
+        declared = detector.flush()
+    return detector, declared
+
+
+def constant_chunks(total, size):
+    out = []
+    remaining = total
+    while remaining > 0:
+        out.append(min(size, remaining))
+        remaining -= size
+    return out
+
+
+class TestDeclarationParity:
+    @pytest.mark.parametrize("push_size", [1, 4, 9, 37])
+    def test_shift_series_matches_offline(self, rng, push_size):
+        x = 50.0 + rng.normal(0, 1.0, size=240)
+        x[80:] += 7.0
+        offline = offline_first_declaration(x, 80)
+        assert offline is not None
+        _, live = stream(x, 80, constant_chunks(240, push_size))
+        assert live is not None
+        assert (live.index, live.start_index, live.direction) == \
+            (offline.index, offline.start_index, offline.direction)
+
+    @pytest.mark.parametrize("push_size", [1, 7])
+    def test_quiet_series_declares_nothing(self, rng, push_size):
+        x = 50.0 + rng.normal(0, 1.0, size=240)
+        _, live = stream(x, 80, constant_chunks(240, push_size))
+        assert live is None
+        assert offline_first_declaration(x, 80) is None
+
+    def test_pre_existing_change_filtered(self, rng):
+        # A shift well before the software change: offline filters it
+        # (start_index < change_index - 1) and so must the live scan.
+        x = 50.0 + rng.normal(0, 1.0, size=240)
+        x[30:] += 7.0
+        offline = offline_first_declaration(x, 80)
+        _, live = stream(x, 80, constant_chunks(240, 1))
+        if offline is None:
+            assert live is None
+        else:
+            assert live is not None
+            assert live.index == offline.index
+
+    def test_randomised_parity_sweep(self, rng):
+        mismatches = 0
+        for trial in range(20):
+            x = 50.0 + rng.normal(0, 1.0, size=220)
+            case = trial % 3
+            if case == 0:
+                x[70:] += 6.5          # genuine impact at the change
+            elif case == 1:
+                pass                    # no impact
+            else:
+                x[110:135] += np.linspace(0.3, 6.0, 25)  # late ramp
+                x[135:] += 6.0
+            offline = offline_first_declaration(x, 70)
+            sizes = rng.integers(1, 12, size=220)
+            _, live = stream(x, 70, [int(s) for s in sizes])
+            if (offline is None) != (live is None):
+                mismatches += 1
+            elif offline is not None and (
+                    (live.index, live.start_index, live.direction)
+                    != (offline.index, offline.start_index,
+                        offline.direction)):
+                mismatches += 1
+        assert mismatches == 0
+
+
+class TestScores:
+    def test_scores_bitwise_equal_to_offline(self, rng):
+        from repro.core.scoring import robust_normalise
+        x = 50.0 + rng.normal(0, 1.0, size=240)
+        x[80:] += 7.0
+        config = FunnelConfig()
+        normalised = robust_normalise(x, baseline=80)
+        offline_scores = Funnel(config).scorer.scores(normalised)
+        detector, _ = stream(x, 80, constant_chunks(240, 1), config)
+        live_scores = detector.scores
+        # Everything computable live must equal the offline array; the
+        # offline tail past the last computable position is zero-filled
+        # on both sides.
+        assert np.array_equal(live_scores, offline_scores)
+
+    @pytest.mark.parametrize("chunk", [4, 9])
+    def test_chunking_changes_nothing(self, rng, chunk):
+        x = 50.0 + rng.normal(0, 1.0, size=240)
+        x[80:] += 7.0
+        _, plain = stream(x, 80, constant_chunks(240, 1))
+        _, chunked = stream(x, 80, constant_chunks(240, 1),
+                            score_chunk_bins=chunk)
+        assert plain is not None and chunked is not None
+        assert (plain.index, plain.start_index) == \
+            (chunked.index, chunked.start_index)
+
+
+class TestFlush:
+    def test_flush_scores_the_remainder(self, rng):
+        # With a large chunk the declaration only becomes visible when
+        # the deadline flush scores the outstanding bins.
+        x = 50.0 + rng.normal(0, 1.0, size=150)
+        x[80:] += 7.0
+        detector = IncrementalDetector(80, score_chunk_bins=64)
+        declared = None
+        for value in x:
+            declared = declared or detector.extend(np.array([value]))
+        if declared is None:
+            declared = detector.flush()
+        offline = offline_first_declaration(x, 80)
+        assert (declared is None) == (offline is None)
+        if offline is not None:
+            assert declared.index == offline.index
+
+    def test_flush_without_stats_is_safe(self):
+        detector = IncrementalDetector(80)
+        assert detector.flush() is None
+
+    def test_declares_only_once(self, rng):
+        x = 50.0 + rng.normal(0, 1.0, size=240)
+        x[80:] += 7.0
+        detector = IncrementalDetector(80)
+        declarations = []
+        for value in x:
+            result = detector.extend(np.array([value]))
+            if result is not None:
+                declarations.append(result)
+        assert len(declarations) == 1
+        assert detector.flush() is None

@@ -1,0 +1,47 @@
+"""The ISSUE's acceptance gate: live verdicts == offline verdicts.
+
+Live and offline must agree on the full record set
+``(change_id, entity_type, entity, metric, verdict, declaration_bin)``
+for the same scenario.  ``score`` and ``kind`` are excluded by contract:
+offline computes them from samples after the declaration bin.
+"""
+
+import pytest
+
+from repro.engine.fleet import FleetScenarioSpec, SyntheticFleetSource
+from repro.live import (offline_verdict_records, parity_live_config,
+                        replay_scenario)
+
+SPEC = FleetScenarioSpec(n_services=3, n_servers=12, n_changes=4,
+                         window_bins=120, change_offset=60,
+                         history_days=1, seed=11)
+
+
+@pytest.fixture(scope="module")
+def offline_records():
+    return offline_verdict_records(SyntheticFleetSource(SPEC))
+
+
+class TestParity:
+    def test_live_equals_offline(self, offline_records):
+        report = replay_scenario(SPEC)
+        assert report.live_records() == offline_records
+
+    def test_parity_survives_fragment_batching(self, offline_records):
+        report = replay_scenario(SPEC, flush_bins=5)
+        assert report.live_records() == offline_records
+
+    def test_parity_survives_score_chunking(self, offline_records):
+        config = parity_live_config(SPEC, score_chunk_bins=7)
+        report = replay_scenario(SPEC, live_config=config)
+        assert report.live_records() == offline_records
+
+    def test_check_offline_flag_agrees(self):
+        report = replay_scenario(SPEC, check_offline=True)
+        assert report.parity_ok is True
+        assert report.parity["live_only"] == []
+        assert report.parity["offline_only"] == []
+
+    def test_verdict_count_matches_job_count(self, offline_records):
+        report = replay_scenario(SPEC)
+        assert len(report.verdicts) == len(offline_records)

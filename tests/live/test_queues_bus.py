@@ -1,0 +1,178 @@
+"""Bounded queues, the verdict bus, and the live configuration."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.live.bus import JsonlVerdictSink, LiveVerdict, VerdictBus
+from repro.live.config import DROP_NEWEST, DROP_OLDEST, LiveConfig
+from repro.live.queues import (FRAGMENTS_METRIC, SHED_FRAGMENTS_METRIC,
+                               IngestQueues)
+from repro.obs.metrics import MetricsRegistry
+from repro.telemetry.kpi import KpiKey
+from repro.telemetry.timeseries import TimeSeries
+
+
+def frag(start, *values):
+    return TimeSeries(start, 60, list(values))
+
+
+@pytest.fixture
+def key():
+    return KpiKey("server", "web-1", "memory_utilization")
+
+
+@pytest.fixture
+def key2():
+    return KpiKey("server", "web-2", "memory_utilization")
+
+
+class TestIngestQueues:
+    def test_offer_and_drain_fifo(self, key):
+        queues = IngestQueues(capacity=4)
+        for i in range(3):
+            assert queues.offer(key, frag(i * 60, float(i)))
+        drained = list(queues.drain())
+        assert [f.start for _, f in drained] == [0, 60, 120]
+        assert queues.depth == 0
+
+    def test_drop_oldest_evicts_stalest(self, key):
+        queues = IngestQueues(capacity=2, policy=DROP_OLDEST)
+        for i in range(4):
+            queues.offer(key, frag(i * 60, float(i)))
+        starts = [f.start for _, f in queues.drain()]
+        assert starts == [120, 180]        # freshest survive
+        assert queues.shed == 2
+
+    def test_drop_newest_sheds_arrival(self, key):
+        queues = IngestQueues(capacity=2, policy=DROP_NEWEST)
+        assert queues.offer(key, frag(0, 1.0))
+        assert queues.offer(key, frag(60, 2.0))
+        assert not queues.offer(key, frag(120, 3.0))
+        starts = [f.start for _, f in queues.drain()]
+        assert starts == [0, 60]
+        assert queues.shed == 1
+
+    def test_budget_limits_a_drain(self, key, key2):
+        queues = IngestQueues(capacity=8)
+        for i in range(3):
+            queues.offer(key, frag(i * 60, 1.0))
+            queues.offer(key2, frag(i * 60, 2.0))
+        first = list(queues.drain(budget=4))
+        assert len(first) == 4
+        assert queues.depth == 2
+        rest = list(queues.drain())
+        assert len(rest) == 2
+
+    def test_budgeted_drain_rotates_across_keys(self, key, key2):
+        # With budget 1 per drain, successive drains must alternate
+        # keys instead of starving the later one in sort order.
+        queues = IngestQueues(capacity=8)
+        for i in range(2):
+            queues.offer(key, frag(i * 60, 1.0))
+            queues.offer(key2, frag(i * 60, 2.0))
+        served = [k for drain in range(4)
+                  for k, _ in queues.drain(budget=1)]
+        assert set(served) == {key, key2}
+
+    def test_discard_counts_shed(self, key):
+        metrics = MetricsRegistry()
+        queues = IngestQueues(capacity=8, metrics=metrics)
+        for i in range(3):
+            queues.offer(key, frag(i * 60, 1.0))
+        assert queues.discard() == 3
+        assert queues.depth == 0
+        counter = metrics.counter(SHED_FRAGMENTS_METRIC)
+        assert counter.value(policy="close") == 3
+
+    def test_fragment_counter(self, key):
+        metrics = MetricsRegistry()
+        queues = IngestQueues(capacity=8, metrics=metrics)
+        queues.offer(key, frag(0, 1.0))
+        queues.offer(key, frag(60, 1.0))
+        assert metrics.counter(FRAGMENTS_METRIC).total() == 2
+
+
+def verdict(change="chg-1", entity="web-1", verdict_value="no_change",
+            reason="deadline"):
+    return LiveVerdict(change_id=change, entity_type="server",
+                       entity=entity, metric="memory_utilization",
+                       verdict=verdict_value, reason=reason,
+                       emitted_at=600)
+
+
+class TestVerdictBus:
+    def test_publish_and_fanout(self):
+        bus = VerdictBus()
+        seen = []
+        bus.subscribe(seen.append)
+        assert bus.publish(verdict())
+        assert len(bus) == 1
+        assert seen[0].change_id == "chg-1"
+
+    def test_at_most_once_per_key(self):
+        bus = VerdictBus()
+        assert bus.publish(verdict())
+        assert not bus.publish(verdict(verdict_value="caused_by_change"))
+        assert len(bus) == 1
+        assert bus.verdicts[0].verdict == "no_change"
+
+    def test_failing_subscriber_cannot_cause_redelivery(self):
+        bus = VerdictBus()
+        bus.subscribe(lambda v: (_ for _ in ()).throw(RuntimeError("boom")))
+        with pytest.raises(RuntimeError):
+            bus.publish(verdict())
+        # The key was marked seen before delivery: retrying is a no-op.
+        assert not bus.publish(verdict())
+        assert len(bus) == 1
+
+    def test_distinct_entities_both_delivered(self):
+        bus = VerdictBus()
+        assert bus.publish(verdict(entity="web-1"))
+        assert bus.publish(verdict(entity="web-2"))
+        assert len(bus) == 2
+
+
+class TestJsonlVerdictSink:
+    def test_writes_one_line_per_verdict(self, tmp_path):
+        path = tmp_path / "verdicts.jsonl"
+        with JsonlVerdictSink(str(path)) as sink:
+            bus = VerdictBus()
+            bus.subscribe(sink)
+            bus.publish(verdict(entity="web-1"))
+            bus.publish(verdict(entity="web-2"))
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        doc = json.loads(lines[0])
+        assert doc["entity"] == "web-1"
+        assert doc["reason"] == "deadline"
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JsonlVerdictSink(str(tmp_path / "v.jsonl"))
+        sink.close()
+        sink.close()
+        sink(verdict())  # after close: silently ignored
+        assert sink.written == 0
+
+
+class TestLiveConfig:
+    def test_defaults_valid(self):
+        config = LiveConfig()
+        assert config.assessment_window_seconds == 3600
+        assert config.drop_policy == DROP_OLDEST
+
+    @pytest.mark.parametrize("kwargs", [
+        {"assessment_window_seconds": 0},
+        {"baseline_bins": 0},
+        {"queue_capacity": 0},
+        {"drop_policy": "drop_random"},
+        {"max_fragments_per_tick": -1},
+        {"max_active_changes": -1},
+        {"max_control_units": 0},
+        {"history_days": -1},
+        {"score_chunk_bins": 0},
+    ])
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ParameterError):
+            LiveConfig(**kwargs)

@@ -1,0 +1,114 @@
+"""Regression tests for the metric store's subscription and append paths.
+
+Two historical defects are pinned here:
+
+* cancelled subscriptions used to stay on the store's push list forever
+  (merely flagged inactive), so a long-lived store serving a live
+  pipeline leaked one dead entry per assessed change;
+* ``append`` used to rebuild the full concatenated array per fragment —
+  O(n) copying per push, quadratic over a stream — now replaced by
+  geometrically over-allocated columns.
+"""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.kpi import KpiKey
+from repro.telemetry.store import MetricStore
+from repro.telemetry.timeseries import TimeSeries
+
+
+@pytest.fixture
+def store():
+    return MetricStore()
+
+
+@pytest.fixture
+def key():
+    return KpiKey("server", "web-1", "memory_utilization")
+
+
+class TestSubscriptionLifecycle:
+    def test_cancel_prunes_the_push_list(self, store, key):
+        subs = [store.subscribe([key], lambda k, f: None)
+                for _ in range(10)]
+        for sub in subs:
+            sub.cancel()
+        assert store.subscription_count() == 0
+        # the actual list is empty, not just marked inactive
+        assert store._subscriptions == []
+
+    def test_cancel_twice_is_safe(self, store, key):
+        sub = store.subscribe([key], lambda k, f: None)
+        sub.cancel()
+        sub.cancel()
+        assert store.subscription_count() == 0
+
+    def test_cancelled_subscription_receives_nothing(self, store, key):
+        got = []
+        sub = store.subscribe([key], lambda k, f: got.append(f))
+        store.append(key, TimeSeries(0, 60, [1.0]))
+        sub.cancel()
+        store.append(key, TimeSeries(60, 60, [2.0]))
+        assert len(got) == 1
+
+    def test_callback_may_cancel_during_push(self, store, key):
+        """A subscriber cancelling (mutating the list) mid-delivery must
+        not break the iteration over the remaining subscribers."""
+        delivered = []
+        subs = []
+
+        def cancelling_callback(k, fragment):
+            delivered.append("cancelling")
+            subs[0].cancel()
+
+        subs.append(store.subscribe([key], cancelling_callback))
+        store.subscribe([key], lambda k, f: delivered.append("other"))
+        store.append(key, TimeSeries(0, 60, [1.0]))
+        assert delivered == ["cancelling", "other"]
+        assert store.subscription_count() == 1
+
+    def test_callback_may_subscribe_during_push(self, store, key):
+        def subscribing_callback(k, fragment):
+            store.subscribe([key], lambda k2, f2: None)
+
+        store.subscribe([key], subscribing_callback)
+        store.append(key, TimeSeries(0, 60, [1.0]))
+        assert store.subscription_count() == 2
+
+
+class TestAppendGrowth:
+    def test_many_small_appends_preserve_values(self, store, key):
+        values = np.arange(500, dtype=np.float64)
+        for i, value in enumerate(values):
+            store.append(key, TimeSeries(i * 60, 60, [value]))
+        series = store.series(key)
+        assert len(series) == 500
+        assert np.array_equal(series.values, values)
+        assert series.start == 0
+
+    def test_view_is_invalidated_by_append(self, store, key):
+        store.append(key, TimeSeries(0, 60, [1.0, 2.0]))
+        first = store.series(key)
+        store.append(key, TimeSeries(120, 60, [3.0]))
+        second = store.series(key)
+        assert len(first) == 2          # old view unchanged
+        assert len(second) == 3
+
+    def test_column_overallocates_geometrically(self, store, key):
+        store.append(key, TimeSeries(0, 60, np.ones(10)))
+        column = store._columns[key]
+        capacities = {column.values.size}
+        for i in range(200):
+            store.append(key, TimeSeries((10 + i) * 60, 60, [1.0]))
+            capacities.add(column.values.size)
+            column = store._columns[key]
+        # doubling growth: few distinct capacities, not one per append
+        assert len(capacities) < 8
+        assert column.values.size >= column.length
+
+    def test_range_after_growth(self, store, key):
+        for i in range(100):
+            store.append(key, TimeSeries(i * 60, 60, [float(i)]))
+        window = store.range(key, 600, 1200)
+        assert window.values.tolist() == [float(i) for i in range(10, 20)]

@@ -185,3 +185,73 @@ class TestGoldenJson:
         assert first == second
         payload = json.loads(first)
         assert json.dumps(payload, indent=2, sort_keys=True) + "\n" == first
+
+
+_LIVE_ARGS = ["live-replay", "--services", "2", "--servers", "8",
+              "--changes", "2", "--window-bins", "120",
+              "--change-offset", "60", "--history-days", "1", "--seed", "3"]
+
+
+class TestLiveReplay:
+    def test_replay_reports_verdicts(self, capsys):
+        assert main(list(_LIVE_ARGS)) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ticks"] > 0
+        assert payload["fragments_streamed"] > 0
+        report = payload["service"]
+        assert report["closed_changes"] == 2
+        assert report["verdicts"] > 0
+        assert report["counters"]["repro_live_changes_admitted_total"] == 2
+        assert payload["mean_detection_lag_bins"] is not None
+
+    def test_check_offline_parity(self, capsys):
+        assert main(_LIVE_ARGS + ["--check-offline"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["parity"]["ok"] is True
+        assert payload["parity"]["live_only"] == []
+        assert payload["parity"]["offline_only"] == []
+
+    def test_verdict_jsonl_sink(self, tmp_path, capsys):
+        path = tmp_path / "verdicts.jsonl"
+        assert main(_LIVE_ARGS + ["--verdicts", str(path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == payload["verdicts"]
+        doc = json.loads(lines[0])
+        for field in ("change_id", "entity_type", "entity", "metric",
+                      "verdict", "reason"):
+            assert field in doc
+
+    def test_obs_artifacts_include_live_counters(self, tmp_path, capsys):
+        obs_dir = tmp_path / "obs"
+        assert main(_LIVE_ARGS + ["--obs-dir", str(obs_dir)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "report", str(obs_dir), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        names = [row["name"] for row in report["counters"]]
+        assert "repro_live_fragments_total" in names
+        assert "repro_live_verdicts_total" in names
+        paths = [tuple(p["path"]) for p in report["paths"]]
+        assert ("live_replay",) in paths
+        assert ("live_replay", "live_change") in paths
+
+    def test_overload_surfaces_shed_counters(self, capsys):
+        assert main(_LIVE_ARGS + ["--queue-capacity", "2",
+                                  "--drain-budget", "8"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        counters = payload["service"]["counters"]
+        assert counters.get("repro_live_shed_fragments_total", 0) > 0
+
+
+class TestAssessFleetVerdicts:
+    def test_verdicts_jsonl_written(self, tmp_path, capsys):
+        path = tmp_path / "offline.jsonl"
+        assert main(_FLEET_ARGS + ["--verdicts", str(path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verdicts_path"] == str(path)
+        lines = path.read_text().strip().splitlines()
+        assert lines
+        doc = json.loads(lines[0])
+        for field in ("change_id", "entity_type", "entity", "metric",
+                      "detector", "verdict"):
+            assert field in doc

@@ -1,0 +1,109 @@
+"""Chaos-harness overhead: fault injection and checkpointing vs. clean.
+
+Replays one synthetic scenario four ways — clean, under the
+``drop-delay-dup`` fault plan, with periodic checkpointing, and with
+both — and writes ``benchmarks/BENCH_chaos.json`` with per-mode wall
+time, fragments/sec and injected-fault counts.  The point of the
+numbers: the harness must stay cheap enough to leave on in CI (the
+fault plan is stateless hashing per event; a checkpoint is one JSONL
+write every N ticks), and the faulted replay must still deliver the
+full verdict set.
+
+Runnable standalone::
+
+    PYTHONPATH=src python benchmarks/bench_chaos_overhead.py
+"""
+
+import json
+import pathlib
+
+from repro.engine import FleetScenarioSpec, reset_shared_cache
+from repro.faults import DELAY, preset_plan
+from repro.faults.injector import FAULTS_INJECTED_METRIC
+from repro.live import parity_live_config, replay_scenario
+from repro.live.checkpoint import CHECKPOINTS_METRIC
+from repro.telemetry.timeseries import MINUTE
+
+OUT_PATH = pathlib.Path(__file__).parent / "BENCH_chaos.json"
+CKPT_PATH = pathlib.Path(__file__).parent / ".bench_chaos.ckpt"
+
+SPEC = FleetScenarioSpec(n_services=2, n_servers=8, n_changes=4,
+                         window_bins=120, change_offset=60,
+                         history_days=1, seed=7)
+FAULT_SEED = 11
+CHECKPOINT_EVERY = 25
+
+
+def _config(plan=None):
+    if plan is None:
+        return parity_live_config(SPEC)
+    grace = max((rule.delay_bins for rule in plan.rules
+                 if rule.kind == DELAY), default=0) * MINUTE
+    return parity_live_config(SPEC, repair_from_store=True,
+                              close_grace_seconds=grace)
+
+
+def _measure(mode: str, plan=None, checkpoint: bool = False) -> dict:
+    reset_shared_cache()
+    kwargs = {}
+    if checkpoint:
+        kwargs = {"checkpoint_path": str(CKPT_PATH),
+                  "checkpoint_every": CHECKPOINT_EVERY}
+    report = replay_scenario(SPEC, live_config=_config(plan),
+                             fault_plan=plan, **kwargs)
+    counters = report.service_report["counters"]
+    return {
+        "mode": mode,
+        "wall_seconds": round(report.wall_seconds, 4),
+        "fragments_per_second": round(report.fragments_per_second, 1),
+        "verdicts": len(report.verdicts),
+        "faults_injected": counters.get(FAULTS_INJECTED_METRIC, 0),
+        "checkpoints_written": counters.get(CHECKPOINTS_METRIC, 0),
+    }
+
+
+def run_bench() -> dict:
+    plan = preset_plan("drop-delay-dup", seed=FAULT_SEED)
+    runs = [
+        _measure("clean"),
+        _measure("faults", plan=plan),
+        _measure("checkpoint", checkpoint=True),
+        _measure("faults+checkpoint", plan=plan, checkpoint=True),
+    ]
+    clean = runs[0]["wall_seconds"]
+    for run in runs:
+        run["overhead_x"] = round(run["wall_seconds"] / clean, 2)
+    report = {"spec": {"n_changes": SPEC.n_changes,
+                       "n_servers": SPEC.n_servers,
+                       "window_bins": SPEC.window_bins},
+              "fault_plan": plan.describe(),
+              "checkpoint_every_ticks": CHECKPOINT_EVERY,
+              "runs": runs}
+    OUT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    if CKPT_PATH.exists():
+        CKPT_PATH.unlink()
+    return report
+
+
+def test_chaos_overhead(benchmark):
+    report = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+
+    print()
+    print("Chaos-harness overhead (vs clean replay):")
+    for run in report["runs"]:
+        print("  %-17s %6.3fs (%.2fx)  faults=%-5d checkpoints=%d"
+              % (run["mode"], run["wall_seconds"], run["overhead_x"],
+                 run["faults_injected"], run["checkpoints_written"]))
+
+    runs = {run["mode"]: run for run in report["runs"]}
+    assert runs["faults"]["faults_injected"] > 0
+    assert runs["checkpoint"]["checkpoints_written"] > 0
+    # every mode still settles the full change set with verdicts
+    for run in report["runs"]:
+        assert run["verdicts"] == runs["clean"]["verdicts"]
+    # the harness stays cheap: well under an order of magnitude
+    assert runs["faults+checkpoint"]["overhead_x"] < 10
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_bench(), indent=2, sort_keys=True))

@@ -17,6 +17,12 @@ Commands:
   the live assessment service (``repro.live``) in accelerated virtual
   time; optionally verify the verdict stream against the offline engine
   (``--check-offline``) and write it as JSONL (``--verdicts``).
+  ``--checkpoint``/``--resume-from`` snapshot and restore the session
+  state mid-stream; ``--kill-after-ticks`` simulates a crash.
+* ``chaos-replay`` — ``live-replay`` under a named fault plan
+  (``repro.faults``): delayed/dropped/duplicated/reordered pushes,
+  transient history errors, agent silence.  Asserts the live verdicts
+  still match the offline engine; exits 1 on a parity failure.
 * ``obs report`` — profile a recorded ``--obs-dir`` run: per-stage /
   per-detector time breakdown (self vs. child time, slowest jobs) as an
   ASCII table plus the run's counters (including the live pipeline's
@@ -122,6 +128,45 @@ def build_parser() -> argparse.ArgumentParser:
         "live-replay",
         help="stream a synthetic fleet scenario through the live "
              "assessment service in accelerated virtual time")
+    _add_live_replay_options(live)
+    live.add_argument("--check-offline", action="store_true",
+                      help="also run the offline engine and verify the "
+                           "verdict sets match")
+    _add_funnel_options(live)
+
+    chaos = sub.add_parser(
+        "chaos-replay",
+        help="live-replay under an injected fault plan, asserting "
+             "live-vs-offline verdict parity survives")
+    _add_live_replay_options(chaos)
+    chaos.add_argument("--plan", default="drop-delay-dup",
+                       help="named fault plan: %s" % ", ".join(
+                           _chaos_plan_names()))
+    chaos.add_argument("--fault-seed", type=int, default=0,
+                       help="seed of the fault plan's deterministic coin")
+    _add_funnel_options(chaos)
+
+    obs = sub.add_parser("obs", help="observability tooling")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    report = obs_sub.add_parser(
+        "report", help="profile a recorded --obs-dir run")
+    report.add_argument("obs_dir", help="directory written by --obs-dir")
+    report.add_argument("--top", type=int, default=10,
+                        help="slowest jobs to list")
+    report.add_argument("--folded",
+                        help="also write flamegraph folded stacks here")
+    report.add_argument("--json", action="store_true",
+                        help="emit the profile as JSON instead of a table")
+
+    return parser
+
+
+def _chaos_plan_names() -> tuple:
+    from .faults import PRESET_NAMES
+    return PRESET_NAMES
+
+
+def _add_live_replay_options(live: argparse.ArgumentParser) -> None:
     live.add_argument("--services", type=int, default=6)
     live.add_argument("--servers", type=int, default=48)
     live.add_argument("--changes", type=int, default=8)
@@ -145,28 +190,22 @@ def build_parser() -> argparse.ArgumentParser:
     live.add_argument("--max-active-changes", type=int, default=0,
                       help="cap on concurrently assessed changes "
                            "(0 = unlimited)")
+    live.add_argument("--checkpoint",
+                      help="write a session checkpoint (JSONL) here "
+                           "periodically")
+    live.add_argument("--checkpoint-every", type=int, default=25,
+                      help="ticks between checkpoints")
+    live.add_argument("--resume-from",
+                      help="restore session state from this checkpoint "
+                           "and continue the replay")
+    live.add_argument("--kill-after-ticks", type=int, default=0,
+                      help="stop mid-stream after N ticks without "
+                           "shutdown (crash simulation; 0 = run to "
+                           "completion)")
     live.add_argument("--verdicts",
                       help="write the verdict stream as JSONL here")
     live.add_argument("--obs-dir",
                       help="directory to write run artifacts into")
-    live.add_argument("--check-offline", action="store_true",
-                      help="also run the offline engine and verify the "
-                           "verdict sets match")
-    _add_funnel_options(live)
-
-    obs = sub.add_parser("obs", help="observability tooling")
-    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
-    report = obs_sub.add_parser(
-        "report", help="profile a recorded --obs-dir run")
-    report.add_argument("obs_dir", help="directory written by --obs-dir")
-    report.add_argument("--top", type=int, default=10,
-                        help="slowest jobs to list")
-    report.add_argument("--folded",
-                        help="also write flamegraph folded stacks here")
-    report.add_argument("--json", action="store_true",
-                        help="emit the profile as JSON instead of a table")
-
-    return parser
 
 
 def _add_funnel_options(sub: argparse.ArgumentParser) -> None:
@@ -355,7 +394,9 @@ def _cmd_assess_fleet(args: argparse.Namespace) -> dict:
     return out
 
 
-def _cmd_live_replay(args: argparse.Namespace) -> dict:
+def _run_live_replay(args: argparse.Namespace, command: str,
+                     fault_plan=None, check_offline: bool = False,
+                     config_overrides: Optional[dict] = None) -> dict:
     from .engine import FleetScenarioSpec
     from .live import JsonlVerdictSink, parity_live_config, replay_scenario
     from .obs import ObsContext, write_run_artifacts
@@ -380,13 +421,19 @@ def _cmd_live_replay(args: argparse.Namespace) -> dict:
         queue_capacity=args.queue_capacity,
         max_fragments_per_tick=args.drain_budget,
         max_active_changes=args.max_active_changes,
+        **(config_overrides or {}),
     )
     obs = ObsContext() if args.obs_dir else None
     sink = JsonlVerdictSink(args.verdicts) if args.verdicts else None
     try:
         report = replay_scenario(
             spec, live_config=live_config, flush_bins=args.flush_bins,
-            check_offline=args.check_offline, obs=obs, sink=sink)
+            check_offline=check_offline, obs=obs, sink=sink,
+            fault_plan=fault_plan,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            resume_from=args.resume_from,
+            kill_after_ticks=args.kill_after_ticks or None)
     finally:
         if sink is not None:
             sink.close()
@@ -399,11 +446,13 @@ def _cmd_live_replay(args: argparse.Namespace) -> dict:
     out.pop("emission_lag_seconds")
     if args.verdicts:
         out["verdicts_path"] = args.verdicts
+    if args.checkpoint:
+        out["checkpoint_path"] = args.checkpoint
     if obs is not None:
         written = write_run_artifacts(
             args.obs_dir, obs,
             config={
-                "command": "live-replay",
+                "command": command,
                 "services": args.services,
                 "servers": args.servers,
                 "changes": args.changes,
@@ -419,6 +468,38 @@ def _cmd_live_replay(args: argparse.Namespace) -> dict:
         )
         out["obs"] = written
     return out
+
+
+def _cmd_live_replay(args: argparse.Namespace) -> dict:
+    return _run_live_replay(args, "live-replay",
+                            check_offline=args.check_offline)
+
+
+def _cmd_chaos_replay(args: argparse.Namespace):
+    from .faults import DELAY, preset_plan
+    from .telemetry.timeseries import MINUTE
+
+    lead_time = args.history_days * 24 * 60 * MINUTE
+    plan = preset_plan(args.plan, seed=args.fault_seed,
+                       lead_time=lead_time, bin_seconds=MINUTE)
+    # The close grace must cover the worst injected delivery delay so
+    # late releases still drain before the session settles.
+    grace = max((rule.delay_bins for rule in plan.rules
+                 if rule.kind == DELAY), default=0) * MINUTE
+    out = _run_live_replay(
+        args, "chaos-replay", fault_plan=plan, check_offline=True,
+        config_overrides={"repair_from_store": True,
+                          "close_grace_seconds": grace})
+    parity = out.get("parity")
+    parity_ok = None if parity is None else parity["ok"]
+    out["chaos"] = {
+        "plan": args.plan,
+        "fault_seed": args.fault_seed,
+        "parity_ok": parity_ok,
+    }
+    # A killed run has no parity verdict to enforce; anything else must
+    # match the offline engine exactly.
+    return out, (0 if parity_ok or out.get("killed") else 1)
 
 
 def _cmd_obs(args: argparse.Namespace):
@@ -478,6 +559,7 @@ _COMMANDS = {
     "cost": _cmd_cost,
     "assess-fleet": _cmd_assess_fleet,
     "live-replay": _cmd_live_replay,
+    "chaos-replay": _cmd_chaos_replay,
     "obs": _cmd_obs,
 }
 
@@ -493,11 +575,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     except FileNotFoundError as exc:
         print(json.dumps({"error": str(exc)}), file=sys.stderr)
         return 1
+    code = 0
+    if isinstance(result, tuple):
+        result, code = result
     if isinstance(result, str):
         print(result, end="" if result.endswith("\n") else "\n")
     else:
         print(json.dumps(result, indent=2, sort_keys=True))
-    return 0
+    return code
 
 
 if __name__ == "__main__":

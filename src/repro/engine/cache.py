@@ -16,7 +16,8 @@ keep its own instance without any cross-process coordination.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Tuple
+from collections import OrderedDict
+from typing import Hashable, Tuple
 
 import numpy as np
 
@@ -32,7 +33,8 @@ class BaselineStatsCache:
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
-        self._stats: Dict[Hashable, Tuple[float, float]] = {}
+        self._stats: "OrderedDict[Hashable, Tuple[float, float]]" = \
+            OrderedDict()
         self.hits = 0
         self.misses = 0
 
@@ -47,13 +49,16 @@ class BaselineStatsCache:
         cached = self._stats.get(key)
         if cached is not None:
             self.hits += 1
+            # True LRU: a hit refreshes the entry, so under fleet-scale
+            # churn the hottest baselines outlive one-shot keys instead
+            # of being evicted at the same age (FIFO).
+            self._stats.move_to_end(key)
             return cached
         self.misses += 1
         computed = median_and_mad(np.asarray(series,
                                              dtype=np.float64)[:baseline])
         if len(self._stats) >= self.max_entries:
-            # Evict the oldest insertion (dicts preserve order).
-            self._stats.pop(next(iter(self._stats)))
+            self._stats.popitem(last=False)  # least recently used
         self._stats[key] = (float(computed[0]), float(computed[1]))
         return self._stats[key]
 

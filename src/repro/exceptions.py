@@ -56,6 +56,14 @@ class EvaluationError(ReproError, ValueError):
     """An evaluation harness invariant was violated."""
 
 
+class CheckpointError(ReproError, ValueError):
+    """A live-session checkpoint is missing, corrupt, or incompatible.
+
+    Raised when ``--resume-from`` points at a file whose version, spec
+    or fault plan does not match the replay being resumed.
+    """
+
+
 class EngineError(ReproError, ValueError):
     """An assessment-engine request is invalid.
 

@@ -1,0 +1,37 @@
+"""repro.faults — deterministic, seeded fault injection for the live service.
+
+The live pipeline (``repro.live``) earns trust only if it stays correct
+when the telemetry path degrades: agents stall, pushes arrive late,
+duplicated or out of order, fragments are dropped on the wire, and the
+history database throws transient errors.  This package injects exactly
+those faults, reproducibly:
+
+* :class:`~repro.faults.plan.FaultPlan` — the DSL: a seed plus a tuple
+  of :class:`~repro.faults.plan.FaultRule` entries (probabilistic, or
+  scripted against virtual time via windows and key globs).  Every
+  decision is a *stateless* hash of ``(seed, kind, key, fragment start)``,
+  so the same plan replays the same faults regardless of process,
+  platform or resume point.
+* :class:`~repro.faults.injector.FaultyMetricStore` — wraps a
+  :class:`~repro.telemetry.store.MetricStore`, delaying/holding agent
+  appends (delay + silence faults) and dropping/duplicating/reordering
+  subscriber pushes (push-layer faults).
+* :class:`~repro.faults.injector.FaultyHistoryProvider` — wraps a
+  history provider with injected transient
+  :class:`~repro.exceptions.TelemetryError` failures.
+
+``repro chaos-replay`` drives a live replay under a named plan and
+asserts the live-vs-offline verdict parity contract still holds — see
+``docs/live.md``.
+"""
+
+from .injector import FAULTS_INJECTED_METRIC, FaultyHistoryProvider, \
+    FaultyMetricStore
+from .plan import (DELAY, DROP, DUPLICATE, HISTORY_ERROR, PRESET_NAMES,
+                   REORDER, SILENCE, FaultPlan, FaultRule, preset_plan)
+
+__all__ = [
+    "DELAY", "DROP", "DUPLICATE", "REORDER", "HISTORY_ERROR", "SILENCE",
+    "FaultPlan", "FaultRule", "preset_plan", "PRESET_NAMES",
+    "FaultyMetricStore", "FaultyHistoryProvider", "FAULTS_INJECTED_METRIC",
+]

@@ -18,6 +18,8 @@ against ``repro assess-fleet`` — see ``docs/live.md``.
 
 from .assessor import ChangeSession, KpiTracker, LiveAssessor
 from .bus import JsonlVerdictSink, LiveVerdict, VerdictBus
+from .checkpoint import (Checkpointer, load_checkpoint, restore_service,
+                         snapshot_service, write_checkpoint)
 from .config import DROP_NEWEST, DROP_OLDEST, LiveConfig
 from .detector import IncrementalDetector
 from .queues import IngestQueues
@@ -31,6 +33,8 @@ from .watcher import ChangeWatcher, StoreHistoryProvider, default_priority
 __all__ = [
     "ChangeSession", "KpiTracker", "LiveAssessor",
     "JsonlVerdictSink", "LiveVerdict", "VerdictBus",
+    "Checkpointer", "load_checkpoint", "restore_service",
+    "snapshot_service", "write_checkpoint",
     "DROP_NEWEST", "DROP_OLDEST", "LiveConfig",
     "IncrementalDetector", "IngestQueues",
     "LiveReplayReport", "fleet_kpi_keys", "offline_verdict_records",

@@ -28,6 +28,7 @@ import numpy as np
 
 from ..changes.change import SoftwareChange
 from ..core.funnel import Funnel
+from ..exceptions import TelemetryError
 from ..obs.metrics import MetricsRegistry
 from ..telemetry.kpi import KpiKey
 from ..telemetry.timeseries import TimeSeries
@@ -42,6 +43,15 @@ __all__ = ["KpiTracker", "ChangeSession", "LiveAssessor"]
 
 GAP_BINS_METRIC = "repro_live_gap_bins_total"
 CONTROL_DROPPED_METRIC = "repro_live_control_rows_dropped_total"
+DUPLICATE_FRAGMENTS_METRIC = "repro_live_duplicate_fragments_total"
+REPAIRED_BINS_METRIC = "repro_live_repaired_bins_total"
+RECONCILED_KEYS_METRIC = "repro_live_reconciled_keys_total"
+FETCH_ATTEMPTS_METRIC = "repro_live_fetch_attempts_total"
+FETCH_FAILURES_METRIC = "repro_live_fetch_failures_total"
+DEGRADED_VERDICTS_METRIC = "repro_live_degraded_verdicts_total"
+
+#: Sentinel for a history fetch attempt that failed (error or timeout).
+_FETCH_FAILED = object()
 
 ControlGroupKey = Tuple[str, str]  # (entity_type, metric)
 
@@ -133,7 +143,8 @@ class LiveAssessor:
 
     def __init__(self, config: LiveConfig, bus: VerdictBus,
                  metrics: Optional[MetricsRegistry] = None,
-                 history_provider=None) -> None:
+                 history_provider=None, store=None,
+                 clock=time.perf_counter, sleep=time.sleep) -> None:
         self.config = config
         self.bus = bus
         self.metrics = metrics or MetricsRegistry()
@@ -142,17 +153,84 @@ class LiveAssessor:
         #: of historical-control rows; ``None`` provider (or return)
         #: routes the no-peer attribution to the uncontrolled verdict.
         self.history_provider = history_provider
+        #: the durable metric store, for gap repair (``repair_from_store``).
+        self.store = store
+        #: wall-clock source for fetch timeout budgets (injectable).
+        self.clock = clock
+        #: backoff sleeper between fetch retries (injectable).
+        self.sleep = sleep
 
     # -- fragment routing ------------------------------------------------------
 
     def on_fragment(self, session: ChangeSession, key: KpiKey,
                     fragment: TimeSeries, now: int) -> None:
-        session.delivered_through[key] = fragment.end
-        expected = session.expected_next.get(key)
-        if expected is not None and fragment.start != expected:
-            self._mark_gap(session, key, fragment, expected)
-            session.expected_next[key] = fragment.end
+        """Route one delivered fragment, healing a lossy push channel.
+
+        The push stream is treated as at-least-once and possibly holey:
+        an exact redelivery is dropped, an overlapping fragment is
+        trimmed to its unseen suffix, and a fragment that skips ahead is
+        either repaired from the durable store (``repair_from_store``)
+        or degrades the item to a ``gap`` verdict as before.
+
+        Deliveries are truncated at the session deadline: under a close
+        grace (``close_grace_seconds``) late releases can carry bins
+        beyond the assessment window, which must never reach a detector.
+        """
+        if fragment.start >= session.deadline:
             return
+        if fragment.end > session.deadline:
+            fragment = fragment.slice_time(fragment.start, session.deadline)
+        expected = session.expected_next.get(key)
+        if expected is not None:
+            if fragment.end <= expected:
+                # Full duplicate: every bin was already processed.
+                self.metrics.counter(
+                    DUPLICATE_FRAGMENTS_METRIC,
+                    help="Redelivered fragments dropped or trimmed.",
+                ).inc(kind="duplicate")
+                return
+            if fragment.start < expected:
+                # Overlap: keep only the unseen suffix.
+                self.metrics.counter(
+                    DUPLICATE_FRAGMENTS_METRIC,
+                    help="Redelivered fragments dropped or trimmed.",
+                ).inc(kind="overlap")
+                fragment = fragment.slice_time(expected, fragment.end)
+            elif fragment.start > expected:
+                patch = self._repair(key, expected, fragment.start)
+                if patch is None:
+                    self._mark_gap(session, key, fragment, expected)
+                    session.delivered_through[key] = max(
+                        session.delivered_through.get(key, fragment.end),
+                        fragment.end)
+                    session.expected_next[key] = fragment.end
+                    return
+                self._deliver(session, key, patch, now)
+        self._deliver(session, key, fragment, now)
+
+    def _repair(self, key: KpiKey, lo: int, hi: int) -> Optional[TimeSeries]:
+        """The missing ``[lo, hi)`` range read back from the store."""
+        if not self.config.repair_from_store or self.store is None:
+            return None
+        series = self.store.maybe_series(key)
+        if series is None:
+            return None
+        try:
+            patch = series.slice_time(lo, hi)
+        except TelemetryError:
+            return None
+        if patch.start != lo or len(patch) != (hi - lo) // patch.bin_seconds:
+            return None  # the store does not (yet) cover the hole
+        self.metrics.counter(
+            REPAIRED_BINS_METRIC,
+            help="Bins recovered from the store after dropped pushes.",
+        ).inc(len(patch))
+        return patch
+
+    def _deliver(self, session: ChangeSession, key: KpiKey,
+                 fragment: TimeSeries, now: int) -> None:
+        session.delivered_through[key] = max(
+            session.delivered_through.get(key, fragment.end), fragment.end)
         session.expected_next[key] = fragment.end
 
         tracker = session.trackers.get(key)
@@ -185,6 +263,89 @@ class LiveAssessor:
         buffer = session.control_buffers.get(key)
         if buffer is not None:
             buffer.degraded = True
+
+    # -- degraded-telemetry recovery -------------------------------------------
+
+    def reconcile_session(self, session: ChangeSession, now: int) -> int:
+        """Pull any store data the push channel never delivered.
+
+        Called at session close (deadline or shutdown) when
+        ``repair_from_store`` is on: a dropped *final* push has no later
+        arrival to trigger inline repair, so the tail is read back from
+        the store directly, capped at the session deadline so the live
+        detector never sees past the assessment window.  Returns the
+        number of keys that needed a catch-up read.
+        """
+        if not self.config.repair_from_store or self.store is None:
+            return 0
+        caught_up = 0
+        for key in session.subscribed_keys():
+            expected = session.expected_next.get(key)
+            if expected is None:
+                continue
+            series = self.store.maybe_series(key)
+            if series is None:
+                continue
+            hi = min(series.end, session.deadline)
+            if hi <= expected:
+                continue
+            try:
+                fragment = series.slice_time(expected, hi)
+            except TelemetryError:
+                continue
+            if not len(fragment):
+                continue
+            self.metrics.counter(
+                RECONCILED_KEYS_METRIC,
+                help="Keys caught up from the store at session close.",
+            ).inc()
+            caught_up += 1
+            self.on_fragment(session, key, fragment, now)
+        return caught_up
+
+    # -- history fetch (retry / timeout budget) --------------------------------
+
+    def _fetch_history(self, session: ChangeSession,
+                       tracker: KpiTracker) -> Tuple[Optional[np.ndarray],
+                                                     bool]:
+        """Historical-control rows with retry-with-backoff.
+
+        Returns ``(rows, healthy)``: ``healthy`` is False only when the
+        provider kept failing (errors or timeout-budget overruns) past
+        ``fetch_retries`` — the caller then degrades the verdict
+        annotation instead of crashing the pipeline.
+        """
+        if self.history_provider is None:
+            return None, True
+        attempts = self.config.fetch_retries + 1
+        backoff = self.config.fetch_backoff_seconds
+        budget = self.config.fetch_timeout_seconds
+        for attempt in range(attempts):
+            self.metrics.counter(
+                FETCH_ATTEMPTS_METRIC,
+                help="History-provider fetch attempts.").inc()
+            started = self.clock()
+            try:
+                rows = self.history_provider(
+                    session.change, tracker.key.entity_type,
+                    tracker.key.entity, tracker.key.metric)
+            except TelemetryError:
+                rows = _FETCH_FAILED
+                outcome = "error"
+            else:
+                if budget > 0 and self.clock() - started > budget:
+                    rows = _FETCH_FAILED
+                    outcome = "timeout"
+            if rows is not _FETCH_FAILED:
+                return rows, True
+            self.metrics.counter(
+                FETCH_FAILURES_METRIC,
+                help="Failed history fetch attempts, by outcome.",
+            ).inc(outcome=outcome)
+            if attempt + 1 < attempts and backoff > 0:
+                self.sleep(backoff)
+                backoff *= 2
+        return None, False
 
     # -- attribution -----------------------------------------------------------
 
@@ -227,10 +388,17 @@ class LiveAssessor:
                 session.pending.append(tracker)
             return False
         history = None
+        degraded_notes: Tuple[str, ...] = ()
         if control is None and self.history_provider is not None:
-            history = self.history_provider(
-                session.change, tracker.key.entity_type, tracker.key.entity,
-                tracker.key.metric)
+            history, healthy = self._fetch_history(session, tracker)
+            if not healthy:
+                degraded_notes = (
+                    "degraded: history unavailable after %d attempts"
+                    % (self.config.fetch_retries + 1),)
+                self.metrics.counter(
+                    DEGRADED_VERDICTS_METRIC,
+                    help="Verdicts attributed without a healthy "
+                         "history fetch.").inc()
         assessment = self.funnel.attribute(
             tracker.detector.series, tracker.declaration,
             tracker.change_index, control=control, history=history)
@@ -246,7 +414,7 @@ class LiveAssessor:
             did_estimate=assessment.did_estimate,
             control=assessment.control,
             direction=tracker.declaration.direction,
-            notes=tuple(assessment.notes),
+            notes=tuple(assessment.notes) + degraded_notes,
         ))
         return True
 

@@ -50,6 +50,32 @@ class LiveConfig:
             per-call cost (higher throughput) and delay *emission* by up
             to ``chunk - 1`` bins; declared indices and verdicts are
             unaffected, and any remainder is flushed at the deadline.
+        fetch_retries: additional attempts after a failed (or timed-out)
+            history-provider fetch before the assessor degrades the
+            verdict instead of crashing.
+        fetch_backoff_seconds: initial wall-clock backoff between fetch
+            retries (doubled per attempt); 0 retries immediately, which
+            is what the virtual-time replay wants.
+        fetch_timeout_seconds: per-call wall-clock budget for one
+            history fetch; a slower call counts as a failure and is
+            retried.  0 disables the budget.
+        close_grace_seconds: how long past its deadline a session stays
+            open before the scheduler settles it.  With delayed-delivery
+            faults injected, fragments for in-window bins can reach the
+            store only after the deadline instant; a grace covering the
+            worst injected delay lets them arrive and drain before the
+            close.  Data beyond the deadline never reaches a detector —
+            the assessor truncates every delivery at the session
+            deadline — so a grace changes *when* verdicts emit, never
+            what they say.
+        repair_from_store: when the push stream skips ahead of a
+            session's expected next bin (a dropped or reordered push),
+            read the missing range back from the durable metric store
+            instead of degrading the tracker, and reconcile any
+            undelivered tail at session close.  Off by default: under
+            queue-shedding overload the gap *is* the load-shedding
+            signal and repairing it would undo the shed work.  The
+            chaos-replay harness turns it on.
     """
 
     funnel: FunnelConfig = field(default_factory=FunnelConfig)
@@ -62,6 +88,11 @@ class LiveConfig:
     max_control_units: int = 8
     history_days: int = 2
     score_chunk_bins: int = 1
+    fetch_retries: int = 2
+    fetch_backoff_seconds: float = 0.0
+    fetch_timeout_seconds: float = 0.0
+    close_grace_seconds: int = 0
+    repair_from_store: bool = False
 
     def __post_init__(self) -> None:
         if self.assessment_window_seconds <= 0:
@@ -84,3 +115,11 @@ class LiveConfig:
             raise ParameterError("history_days must be >= 0")
         if self.score_chunk_bins < 1:
             raise ParameterError("score_chunk_bins must be >= 1")
+        if self.fetch_retries < 0:
+            raise ParameterError("fetch_retries must be >= 0")
+        if self.fetch_backoff_seconds < 0:
+            raise ParameterError("fetch_backoff_seconds must be >= 0")
+        if self.fetch_timeout_seconds < 0:
+            raise ParameterError("fetch_timeout_seconds must be >= 0")
+        if self.close_grace_seconds < 0:
+            raise ParameterError("close_grace_seconds must be >= 0")

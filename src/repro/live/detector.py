@@ -92,6 +92,53 @@ class IncrementalDetector:
         """Scores computed so far (zeros where not yet computable)."""
         return self._scores[:self._n]
 
+    # -- checkpointing ---------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of the full streaming state.
+
+        Every float survives the JSON round-trip exactly (``repr`` of a
+        finite double is lossless), so a detector restored from this
+        snapshot continues **bit-identically** to one that never
+        stopped — the property the kill-and-resume test pins.
+        """
+        n = self._n
+        return {
+            "n": n,
+            "values": self._values[:n].tolist(),
+            "norm": self._norm[:n].tolist(),
+            "scores": self._scores[:n].tolist(),
+            "stats": (list(self._stats) if self._stats is not None
+                      else None),
+            "denominator": self._denominator,
+            "next_score_t": self._next_score_t,
+            "scan_t": self._scan_t,
+            "declared": (None if self.declared is None else {
+                "index": self.declared.index,
+                "start_index": self.declared.start_index,
+                "score": self.declared.score,
+                "kind": self.declared.kind,
+                "direction": self.declared.direction,
+            }),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (inverse operation)."""
+        n = int(state["n"])
+        self._grow(max(n, 1))
+        self._n = n
+        self._values[:n] = state["values"]
+        self._norm[:n] = state["norm"]
+        self._scores[:n] = state["scores"]
+        stats = state["stats"]
+        self._stats = None if stats is None else tuple(stats)
+        self._denominator = float(state["denominator"])
+        self._next_score_t = int(state["next_score_t"])
+        self._scan_t = int(state["scan_t"])
+        declared = state["declared"]
+        self.declared = (None if declared is None
+                         else DetectedChange(**declared))
+
     # -- ingest ---------------------------------------------------------------
 
     def _grow(self, needed: int) -> None:

@@ -12,6 +12,7 @@ and a counter records every shed, so overload degrades the answers
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from collections import deque
 from typing import Deque, Dict, Iterator, List, Optional, Tuple
 
@@ -35,7 +36,11 @@ class IngestQueues:
         self.policy = policy
         self.metrics = metrics or MetricsRegistry()
         self._queues: Dict[KpiKey, Deque[TimeSeries]] = {}
-        self._rotate = 0
+        #: The key the previous drain served last.  Fairness rotation
+        #: resumes *after* this key; remembering the key (not its index)
+        #: keeps the rotation correct when the key set changes between
+        #: drains, which would silently re-aim a stored index.
+        self._last_served: Optional[KpiKey] = None
         self.depth = 0
         self.shed = 0
 
@@ -91,15 +96,21 @@ class IngestQueues:
         keys: List[KpiKey] = sorted(self._queues, key=str)
         if not keys:
             return
-        start = self._rotate % len(keys)
+        start = 0
+        if self._last_served is not None:
+            # Resume after the last-served *key* in the current sorted
+            # order (bisect also lands correctly when that key has since
+            # disappeared or new keys shifted the order).
+            start = bisect_right([str(k) for k in keys],
+                                 str(self._last_served)) % len(keys)
         order = keys[start:] + keys[:start]
         while remaining > 0 and self.depth > 0:
             progressed = False
-            for position, key in enumerate(order):
+            for key in order:
                 queue = self._queues.get(key)
                 if not queue:
                     continue
-                self._rotate = (start + position + 1) % len(keys)
+                self._last_served = key
                 yield key, queue.popleft()
                 self.depth -= 1
                 progressed = True

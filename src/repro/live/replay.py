@@ -26,19 +26,22 @@ from __future__ import annotations
 
 import time
 from contextlib import nullcontext
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..changes.log import ChangeLog
 from ..engine.engine import AssessmentEngine
 from ..engine.fleet import FleetScenarioSpec, SyntheticFleetSource
 from ..engine.planner import ENTITY_METRICS
+from ..exceptions import CheckpointError
+from ..faults import FaultPlan, FaultyHistoryProvider, FaultyMetricStore
 from ..obs.context import ObsContext
 from ..simulation.clock import SimulationClock
 from ..telemetry.kpi import KpiKey
 from ..telemetry.store import MetricStore
 from ..telemetry.timeseries import MINUTE, TimeSeries
 from .bus import LiveVerdict
+from .checkpoint import Checkpointer, load_checkpoint, restore_service
 from .config import LiveConfig
 from .service import LiveAssessmentService
 
@@ -115,6 +118,14 @@ class LiveReplayReport:
     detection_lag_bins: List[int] = field(default_factory=list)
     #: per-verdict seconds between deployment and verdict emission.
     emission_lag_seconds: List[int] = field(default_factory=list)
+    #: descriptor of the injected fault plan, when one was active.
+    fault_plan: Optional[dict] = None
+    #: True when ``kill_after_ticks`` stopped the replay mid-stream.
+    killed: bool = False
+    #: True when the replay continued from a ``--resume-from`` checkpoint.
+    resumed: bool = False
+    #: checkpoints written during this run.
+    checkpoints_written: int = 0
 
     @property
     def parity_ok(self) -> Optional[bool]:
@@ -141,7 +152,12 @@ class LiveReplayReport:
             "service": self.service_report,
             "detection_lag_bins": list(self.detection_lag_bins),
             "emission_lag_seconds": list(self.emission_lag_seconds),
+            "killed": self.killed,
+            "resumed": self.resumed,
+            "checkpoints_written": self.checkpoints_written,
         }
+        if self.fault_plan is not None:
+            doc["fault_plan"] = self.fault_plan
         if self.parity is not None:
             doc["parity"] = {
                 "ok": self.parity["ok"],
@@ -159,7 +175,13 @@ def replay_scenario(spec: Optional[FleetScenarioSpec] = None,
                     flush_bins: int = 1,
                     check_offline: bool = False,
                     obs: Optional[ObsContext] = None,
-                    sink=None, priority=None) -> LiveReplayReport:
+                    sink=None, priority=None,
+                    fault_plan: Optional[FaultPlan] = None,
+                    checkpoint_path: Optional[str] = None,
+                    checkpoint_every: int = 25,
+                    resume_from: Optional[str] = None,
+                    kill_after_ticks: Optional[int] = None
+                    ) -> LiveReplayReport:
     """Stream ``spec`` through the live pipeline in virtual time.
 
     Args:
@@ -177,6 +199,21 @@ def replay_scenario(spec: Optional[FleetScenarioSpec] = None,
         sink: optional verdict-bus subscriber (e.g. a
             :class:`~repro.live.bus.JsonlVerdictSink`).
         priority: optional admission-priority override.
+        fault_plan: optional :class:`~repro.faults.FaultPlan` — the
+            store (and, with history faults, the history provider) is
+            wrapped in the fault injectors, and pending delayed
+            fragments are flushed before shutdown so bounded plans keep
+            the parity contract decidable.
+        checkpoint_path: write a session checkpoint here every
+            ``checkpoint_every`` ticks (atomic JSONL).
+        resume_from: restore from this checkpoint instead of starting
+            cold: the pre-checkpoint stream is fast-forwarded through a
+            fresh store (no subscribers, so the stateless fault plan
+            reproduces the exact in-flight state) and the service state
+            is restored on top, then the replay continues.
+        kill_after_ticks: stop mid-stream after this many ticks without
+            shutting the service down — the crash half of the
+            kill-and-resume test.
     """
     if flush_bins < 1:
         raise ValueError("flush_bins must be >= 1")
@@ -188,43 +225,110 @@ def replay_scenario(spec: Optional[FleetScenarioSpec] = None,
     for change in source.changes:
         log.record(change)
 
+    faulty = fault_plan is not None
     store = MetricStore(bin_seconds=MINUTE)
-    service = LiveAssessmentService(
-        store, log, source.fleet, config=config, obs=obs,
-        history_provider=source.history, priority=priority)
-    if sink is not None:
-        service.bus.subscribe(sink)
+    history = source.history
+    if faulty:
+        store = FaultyMetricStore(store, fault_plan)
+        if fault_plan.has_history_faults():
+            history = FaultyHistoryProvider(source.history, fault_plan)
 
     keys = fleet_kpi_keys(source)
     arrays = {key: source.observed_series(key.entity_type, key.entity,
                                           key.metric) for key in keys}
     at_time: Dict[str, int] = {c.change_id: c.at_time
                                for c in source.changes}
-
-    clock = SimulationClock(start=spec.lead_bins * MINUTE)
     stream_bins = spec.n_changes * spec.window_bins
+    plan_doc = fault_plan.describe() if faulty else None
+    static_extra = {"spec": asdict(spec), "flush_bins": flush_bins,
+                    "fault_plan": plan_doc}
+
     report = LiveReplayReport()
+    report.fault_plan = plan_doc
+    clock = SimulationClock(start=spec.lead_bins * MINUTE)
+
+    start_offset = 0
+    checkpoint_doc = None
+    if resume_from is not None:
+        checkpoint_doc = load_checkpoint(resume_from)
+        extra = checkpoint_doc["meta"].get("extra", {})
+        for name in ("spec", "flush_bins", "fault_plan"):
+            if extra.get(name) != static_extra[name]:
+                raise CheckpointError(
+                    "checkpoint %s was written under a different %s"
+                    % (resume_from, name))
+        start_offset = int(extra.get("offset", 0))
+        report.resumed = True
+
+    checkpointer = None
+    if checkpoint_path is not None:
+        checkpointer = Checkpointer(checkpoint_path, checkpoint_every)
+        checkpointer.extra = dict(static_extra, offset=start_offset)
+
+    def stream_chunk(offset: int, chunk: int) -> None:
+        absolute_bin = spec.lead_bins + offset
+        start_time = absolute_bin * MINUTE
+        for key in keys:
+            store.append(key, TimeSeries(
+                start_time, MINUTE,
+                arrays[key][absolute_bin:absolute_bin + chunk]))
+
+    # Fast-forward to the checkpoint: replay the pre-checkpoint stream
+    # into the fresh (fault-wrapped) store before any subscriber exists.
+    # The deterministic plan makes the same appends pend/release the same
+    # way, so the store *and* the injector's in-flight state match the
+    # killed run's exactly; the service session state is restored on top.
+    offset = 0
+    while offset < start_offset:
+        chunk = min(flush_bins, start_offset - offset)
+        stream_chunk(offset, chunk)
+        now = clock.advance_minutes(chunk)
+        if faulty:
+            store.advance(now)
+        offset += chunk
+
+    service = LiveAssessmentService(
+        store, log, source.fleet, config=config, obs=obs,
+        history_provider=history, priority=priority,
+        checkpointer=checkpointer)
+    if faulty:
+        store.bind_metrics(service.metrics)
+        if isinstance(history, FaultyHistoryProvider):
+            history.metrics = service.metrics
+    if checkpoint_doc is not None:
+        restore_service(service, checkpoint_doc)
+    if sink is not None:
+        service.bus.subscribe(sink)
+
     observed = obs is not None and obs.enabled
     root = obs.tracer.span(REPLAY_SPAN) if observed else nullcontext()
 
     started = time.perf_counter()
     with root:
-        offset = 0
         while offset < stream_bins:
             chunk = min(flush_bins, stream_bins - offset)
-            absolute_bin = spec.lead_bins + offset
-            start_time = absolute_bin * MINUTE
-            for key in keys:
-                store.append(key, TimeSeries(
-                    start_time, MINUTE,
-                    arrays[key][absolute_bin:absolute_bin + chunk]))
-                report.fragments_streamed += 1
+            stream_chunk(offset, chunk)
+            report.fragments_streamed += len(keys)
             now = clock.advance_minutes(chunk)
+            if faulty:
+                store.advance(now)
+            offset += chunk
+            if checkpointer is not None:
+                checkpointer.extra["offset"] = offset
             service.on_tick(now)
             report.ticks += 1
-            offset += chunk
-        service.shutdown(clock.now)
+            if (kill_after_ticks is not None
+                    and report.ticks >= kill_after_ticks
+                    and offset < stream_bins):
+                report.killed = True
+                break
+        if not report.killed:
+            if faulty:
+                store.flush_all()
+            service.shutdown(clock.now)
     report.wall_seconds = time.perf_counter() - started
+    if checkpointer is not None:
+        report.checkpoints_written = checkpointer.written
 
     report.verdicts = list(service.bus.verdicts)
     report.service_report = service.report()
@@ -235,7 +339,7 @@ def replay_scenario(spec: Optional[FleetScenarioSpec] = None,
             report.detection_lag_bins.append(
                 verdict.declaration_bin - spec.change_offset)
 
-    if check_offline:
+    if check_offline and not report.killed:
         live = report.live_records()
         offline = offline_verdict_records(source, funnel_config=config.funnel)
         live_set, offline_set = set(live), set(offline)

@@ -49,6 +49,10 @@ class EventTimeScheduler:
         self.metrics = metrics or MetricsRegistry()
         self.peak_queue_depth = 0
         self.closed_count = 0
+        self.tick_count = 0
+        #: optional :class:`~repro.live.checkpoint.Checkpointer`; when
+        #: attached, a snapshot is taken at the end of qualifying ticks.
+        self.checkpointer = None
 
     def tick(self, now: int) -> List[ChangeSession]:
         """Run one control-loop pass; returns the sessions closed."""
@@ -57,6 +61,9 @@ class EventTimeScheduler:
         self._drain(now)
         closed = self._close_due(now)
         self._update_gauges(now)
+        self.tick_count += 1
+        if self.checkpointer is not None:
+            self.checkpointer.on_tick(now, self.tick_count)
         return closed
 
     # -- draining --------------------------------------------------------------
@@ -82,9 +89,11 @@ class EventTimeScheduler:
 
     def _close_due(self, now: int) -> List[ChangeSession]:
         closed = []
+        grace = self.config.close_grace_seconds
         for session in self._sessions_by_age():
-            if session.deadline > now:
+            if session.deadline + grace > now:
                 continue
+            self.assessor.reconcile_session(session, now)
             self.assessor.close_session(session, now)
             self.watcher.finish(session)
             closed.append(session)

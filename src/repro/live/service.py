@@ -36,7 +36,8 @@ class LiveAssessmentService:
     def __init__(self, store: MetricStore, log: ChangeLog, fleet: Fleet,
                  config: Optional[LiveConfig] = None,
                  obs: Optional[ObsContext] = None,
-                 history_provider=None, priority=None) -> None:
+                 history_provider=None, priority=None,
+                 checkpointer=None) -> None:
         self.config = config or LiveConfig()
         self.obs = obs
         self.store = store
@@ -48,13 +49,19 @@ class LiveAssessmentService:
         if history_provider is None:
             history_provider = StoreHistoryProvider(store, self.config)
         self.assessor = LiveAssessor(self.config, self.bus, self.metrics,
-                                     history_provider=history_provider)
+                                     history_provider=history_provider,
+                                     store=store)
         self.watcher = ChangeWatcher(log, fleet, store, self.assessor,
                                      self.config, self.metrics,
                                      priority=priority)
         self.scheduler = EventTimeScheduler(self.watcher, self.assessor,
                                             store, self.config, self.metrics)
         self.closed: List[ChangeSession] = []
+        #: sessions a restored checkpoint had already closed — counted in
+        #: :meth:`report` so a resumed run's summary matches end to end.
+        self.restored_closed = 0
+        if checkpointer is not None:
+            checkpointer.attach(self)
 
     # -- driving ---------------------------------------------------------------
 
@@ -72,6 +79,7 @@ class LiveAssessmentService:
         for session in list(self.watcher.sessions.values()):
             for key, fragment in session.queues.drain():
                 self.assessor.on_fragment(session, key, fragment, now)
+            self.assessor.reconcile_session(session, now)
             self.assessor.close_session(session, now)
             self.watcher.finish(session)
             self._record_change_span(session)
@@ -99,7 +107,7 @@ class LiveAssessmentService:
         counters = self.metrics.snapshot()["counters"]
         return {
             "active_changes": len(self.watcher.sessions),
-            "closed_changes": len(self.closed),
+            "closed_changes": len(self.closed) + self.restored_closed,
             "verdicts": len(self.bus),
             "shed_change_ids": list(self.watcher.shed_change_ids),
             "queue_depth": self.scheduler.queue_depth(),

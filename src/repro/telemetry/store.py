@@ -38,9 +38,14 @@ Callback = Callable[[KpiKey, TimeSeries], None]
 _MIN_CAPACITY = 64
 
 
-@dataclass
+@dataclass(eq=False)
 class Subscription:
-    """A standing request for pushes of appended measurements."""
+    """A standing request for pushes of appended measurements.
+
+    Identity semantics (``eq=False``): two subscriptions with the same
+    keys and callback are still distinct registrations, so cancelling
+    one can never prune the other from the store's push list.
+    """
 
     keys: frozenset
     callback: Callback
@@ -149,8 +154,14 @@ class MetricStore:
         column = self._columns.get(key)
         if column is None:
             raise TelemetryError("no measurements stored for %s" % key)
+        # Materialise an owning copy: handing out a slice of the live
+        # column buffer would let any caller mutation corrupt the store
+        # (``as_float_array`` is a no-op on a contiguous float64 view).
+        # The copy is additionally frozen because the view is cached and
+        # shared between callers until the next append.
         view = TimeSeries(start=column.start, bin_seconds=self.bin_seconds,
-                          values=column.values[:column.length])
+                          values=column.values[:column.length].copy())
+        view.values.flags.writeable = False
         self._views[key] = view
         return view
 

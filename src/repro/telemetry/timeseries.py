@@ -117,7 +117,11 @@ class TimeSeries:
         if factor < 1:
             raise ParameterError("factor must be >= 1, got %d" % factor)
         if factor == 1:
-            return self
+            # An owning copy, like every other transform: returning
+            # ``self`` would alias the caller's buffer and re-open the
+            # store-view corruption hazard for the factor-1 fast path.
+            return TimeSeries(self.start, self.bin_seconds,
+                              self.values.copy())
         usable = (len(self) // factor) * factor
         blocks = self.values[:usable].reshape(-1, factor)
         return TimeSeries(
@@ -127,8 +131,9 @@ class TimeSeries:
         )
 
     def shifted(self, seconds: int) -> "TimeSeries":
-        """The same values relabelled ``seconds`` later."""
-        return TimeSeries(self.start + seconds, self.bin_seconds, self.values)
+        """The same values relabelled ``seconds`` later (owning copy)."""
+        return TimeSeries(self.start + seconds, self.bin_seconds,
+                          self.values.copy())
 
     # -- arithmetic ------------------------------------------------------------
 

@@ -1,0 +1,85 @@
+"""The baseline-stats cache: correctness, LRU recency, hit accounting.
+
+Regression pinned here: eviction used to be FIFO (plain dict, evict the
+oldest *insertion*), so under fleet-scale churn a hot baseline that was
+inserted early got evicted at the same age as one-shot keys, despite
+being re-read constantly.  True LRU refreshes an entry on every hit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.robust import median_and_mad
+from repro.engine.cache import BaselineStatsCache
+
+
+@pytest.fixture
+def series():
+    rng = np.random.default_rng(3)
+    return rng.normal(50.0, 4.0, size=200)
+
+
+class TestCorrectness:
+    def test_stats_match_direct_computation(self, series):
+        cache = BaselineStatsCache()
+        median, mad = cache.stats("k", series, 80)
+        expected = median_and_mad(series[:80])
+        assert (median, mad) == (float(expected[0]), float(expected[1]))
+
+    def test_hit_returns_the_cached_tuple(self, series):
+        cache = BaselineStatsCache()
+        first = cache.stats("k", series, 80)
+        second = cache.stats("k", series, 80)
+        assert first == second
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            BaselineStatsCache(max_entries=0)
+
+
+class TestLruEviction:
+    def test_hit_refreshes_recency(self, series):
+        cache = BaselineStatsCache(max_entries=2)
+        cache.stats("a", series, 40)
+        cache.stats("b", series, 50)
+        cache.stats("a", series, 40)     # refresh "a"
+        cache.stats("c", series, 60)     # evicts "b", not "a"
+        hits = cache.hits
+        cache.stats("a", series, 40)
+        assert cache.hits == hits + 1    # "a" survived
+        cache.stats("b", series, 50)
+        assert cache.misses == 4         # "b" was the one evicted
+
+    def test_entries_stay_bounded(self, series):
+        cache = BaselineStatsCache(max_entries=8)
+        for i in range(50):
+            cache.stats(("k", i), series, 40)
+        assert cache.info()["entries"] == 8
+
+    def test_hot_key_survives_one_shot_churn(self, series):
+        # The fleet-scale access pattern: one baseline re-read on every
+        # assessment among a stream of one-shot keys.  Under FIFO the
+        # hot entry ages out repeatedly; under LRU it never misses
+        # after the first computation.
+        cache = BaselineStatsCache(max_entries=4)
+        for i in range(100):
+            cache.stats("hot", series, 80)
+            cache.stats(("one-shot", i), series, 40)
+        assert cache.hits == 99
+        assert cache.misses == 101       # 1 for hot + 100 one-shots
+
+
+class TestAccounting:
+    def test_counters_snapshot(self, series):
+        cache = BaselineStatsCache()
+        cache.stats("k", series, 40)
+        cache.stats("k", series, 40)
+        assert cache.counters() == (1, 1)
+
+    def test_clear_resets_everything(self, series):
+        cache = BaselineStatsCache()
+        cache.stats("k", series, 40)
+        cache.clear()
+        assert cache.info() == {"entries": 0, "hits": 0, "misses": 0,
+                                "max_entries": cache.max_entries}

@@ -1,0 +1,180 @@
+"""Checkpoint, kill, resume: the resumed verdicts are bit-identical.
+
+The contract: a replay killed mid-stream and resumed from its last
+checkpoint must publish exactly the verdict bytes an uninterrupted run
+would — same verdict values, same declaration bins, same notes, same
+emission instants — with or without a fault plan active.
+"""
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.engine import reset_shared_cache
+from repro.engine.fleet import FleetScenarioSpec
+from repro.exceptions import CheckpointError
+from repro.faults import DELAY, preset_plan
+from repro.live import parity_live_config, replay_scenario
+from repro.live.checkpoint import (CHECKPOINT_VERSION, Checkpointer,
+                                   load_checkpoint, restore_service)
+from repro.telemetry.timeseries import MINUTE
+
+SPEC = FleetScenarioSpec(n_services=2, n_servers=8, n_changes=2,
+                         window_bins=120, change_offset=60,
+                         history_days=1, seed=5)
+#: kill instant: mid-second-change (admitted ~tick 181, closes at 240),
+#: so the checkpoint carries live detector and queue state.
+KILL_AT = 200
+
+
+@pytest.fixture(autouse=True)
+def _fresh_baseline_cache():
+    reset_shared_cache()
+    yield
+    reset_shared_cache()
+
+
+def verdict_bytes(report):
+    return [json.dumps(v.as_dict(), sort_keys=True)
+            for v in report.verdicts]
+
+
+class TestKillAndResume:
+    def test_clean_resume_is_bit_identical(self, tmp_path):
+        path = str(tmp_path / "live.ckpt")
+        baseline = replay_scenario(SPEC)
+        killed = replay_scenario(SPEC, checkpoint_path=path,
+                                 checkpoint_every=10,
+                                 kill_after_ticks=KILL_AT)
+        assert killed.killed is True
+        assert killed.checkpoints_written >= 1
+        assert len(killed.verdicts) < len(baseline.verdicts)
+        assert killed.service_report["active_changes"] > 0
+        reset_shared_cache()
+        resumed = replay_scenario(SPEC, resume_from=path,
+                                  check_offline=True)
+        assert resumed.resumed is True
+        assert verdict_bytes(resumed) == verdict_bytes(baseline)
+        assert resumed.parity_ok is True
+
+    def test_resume_under_faults_is_bit_identical(self, tmp_path):
+        path = str(tmp_path / "chaos.ckpt")
+        plan = preset_plan("drop-delay-dup", seed=11)
+        grace = max(rule.delay_bins for rule in plan.rules
+                    if rule.kind == DELAY) * MINUTE
+        config = parity_live_config(SPEC, repair_from_store=True,
+                                    close_grace_seconds=grace)
+        baseline = replay_scenario(SPEC, live_config=config,
+                                   fault_plan=plan)
+        killed = replay_scenario(SPEC, live_config=config, fault_plan=plan,
+                                 checkpoint_path=path, checkpoint_every=10,
+                                 kill_after_ticks=KILL_AT)
+        assert killed.killed is True
+        reset_shared_cache()
+        resumed = replay_scenario(SPEC, live_config=config, fault_plan=plan,
+                                  resume_from=path)
+        assert verdict_bytes(resumed) == verdict_bytes(baseline)
+
+    def test_killed_run_skips_shutdown_and_parity(self, tmp_path):
+        path = str(tmp_path / "live.ckpt")
+        killed = replay_scenario(SPEC, checkpoint_path=path,
+                                 checkpoint_every=10,
+                                 kill_after_ticks=KILL_AT,
+                                 check_offline=True)
+        assert killed.killed is True
+        assert killed.parity is None      # a dead run asserts nothing
+        assert killed.service_report["active_changes"] > 0
+
+
+class TestCheckpointFile:
+    def test_checkpoint_is_versioned_jsonl(self, tmp_path):
+        path = str(tmp_path / "live.ckpt")
+        report = replay_scenario(SPEC, checkpoint_path=path,
+                                 checkpoint_every=10)
+        # 240 streamed bins at flush_bins=1 -> 240 ticks, one write
+        # every 10 ticks.
+        assert report.ticks == 240
+        assert report.checkpoints_written == 24
+        records = [json.loads(line)
+                   for line in open(path, encoding="utf-8")]
+        meta = records[0]
+        assert meta["record"] == "meta"
+        assert meta["version"] == CHECKPOINT_VERSION
+        assert meta["extra"]["flush_bins"] == 1
+        assert meta["extra"]["offset"] == 240
+        kinds = {record["record"] for record in records}
+        assert {"meta", "watcher", "scheduler", "service",
+                "bus"} <= kinds
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(tmp_path / "absent.ckpt"))
+
+    def test_load_corrupt_line_raises(self, tmp_path):
+        path = tmp_path / "corrupt.ckpt"
+        path.write_text('{"record": "meta", "version": 1}\nnot json\n')
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(path))
+
+    def test_load_without_meta_raises(self, tmp_path):
+        path = tmp_path / "headless.ckpt"
+        path.write_text('{"record": "watcher", "seen": []}\n')
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(path))
+
+    def test_load_version_mismatch_raises(self, tmp_path):
+        path = tmp_path / "future.ckpt"
+        path.write_text('{"record": "meta", "version": 99}\n')
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(path))
+
+
+class TestResumeValidation:
+    @pytest.fixture()
+    def checkpoint(self, tmp_path):
+        path = str(tmp_path / "live.ckpt")
+        replay_scenario(SPEC, checkpoint_path=path, checkpoint_every=10,
+                        kill_after_ticks=KILL_AT)
+        reset_shared_cache()
+        return path
+
+    def test_resume_with_different_spec_raises(self, checkpoint):
+        other = FleetScenarioSpec(n_services=2, n_servers=8, n_changes=2,
+                                  window_bins=120, change_offset=60,
+                                  history_days=1, seed=6)
+        with pytest.raises(CheckpointError):
+            replay_scenario(other, resume_from=checkpoint)
+
+    def test_resume_with_different_flush_bins_raises(self, checkpoint):
+        with pytest.raises(CheckpointError):
+            replay_scenario(SPEC, flush_bins=2, resume_from=checkpoint)
+
+    def test_resume_with_different_fault_plan_raises(self, checkpoint):
+        with pytest.raises(CheckpointError):
+            replay_scenario(SPEC, fault_plan=preset_plan("reorder"),
+                            resume_from=checkpoint)
+
+    def test_resume_from_missing_checkpoint_raises(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            replay_scenario(SPEC,
+                            resume_from=str(tmp_path / "absent.ckpt"))
+
+
+class TestGuards:
+    def test_restore_needs_a_fresh_service(self):
+        stale = SimpleNamespace(
+            watcher=SimpleNamespace(sessions={"chg-0000": object()}),
+            closed=[])
+        with pytest.raises(CheckpointError):
+            restore_service(stale, {"sessions": []})
+
+    def test_checkpointer_rejects_bad_cadence(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            Checkpointer(str(tmp_path / "x.ckpt"), every_ticks=0)
+
+    def test_unattached_checkpointer_is_a_noop(self, tmp_path):
+        checkpointer = Checkpointer(str(tmp_path / "x.ckpt"),
+                                    every_ticks=5)
+        assert checkpointer.on_tick(0, 5) is False
+        assert checkpointer.written == 0

@@ -76,6 +76,32 @@ class TestIngestQueues:
                   for k, _ in queues.drain(budget=1)]
         assert set(served) == {key, key2}
 
+    def test_rotation_survives_keyset_changes(self):
+        # Regression: the rotation cursor used to be a stored *index*
+        # into the sorted key list, so a key arriving earlier in sort
+        # order silently re-aimed it.  Remembering the last-served *key*
+        # keeps successive budgeted drains fair through churn.
+        a = KpiKey("server", "a-1", "memory_utilization")
+        b = KpiKey("server", "b-1", "memory_utilization")
+        c = KpiKey("server", "c-1", "memory_utilization")
+        queues = IngestQueues(capacity=8)
+        for i in range(2):
+            queues.offer(b, frag(i * 60, 1.0))
+            queues.offer(c, frag(i * 60, 1.0))
+        assert [k for k, _ in queues.drain(budget=1)] == [b]
+        queues.offer(a, frag(0, 1.0))    # new key ahead of b in order
+        assert [k for k, _ in queues.drain(budget=1)] == [c]
+        assert [k for k, _ in queues.drain(budget=1)] == [a]
+
+    def test_rotation_survives_a_vanished_cursor_key(self, key, key2):
+        queues = IngestQueues(capacity=8)
+        queues.offer(key, frag(0, 1.0))
+        queues.offer(key2, frag(0, 2.0))
+        assert [k for k, _ in queues.drain(budget=1)] == [key]
+        # the cursor key's queue is now empty; the next drain must not
+        # serve it again while key2 still waits
+        assert [k for k, _ in queues.drain(budget=1)] == [key2]
+
     def test_discard_counts_shed(self, key):
         metrics = MetricsRegistry()
         queues = IngestQueues(capacity=8, metrics=metrics)
@@ -172,6 +198,10 @@ class TestLiveConfig:
         {"max_control_units": 0},
         {"history_days": -1},
         {"score_chunk_bins": 0},
+        {"fetch_retries": -1},
+        {"fetch_backoff_seconds": -0.5},
+        {"fetch_timeout_seconds": -0.5},
+        {"close_grace_seconds": -1},
     ])
     def test_rejects_invalid(self, kwargs):
         with pytest.raises(ParameterError):

@@ -1,13 +1,19 @@
 """Regression tests for the metric store's subscription and append paths.
 
-Two historical defects are pinned here:
+Four historical defects are pinned here:
 
 * cancelled subscriptions used to stay on the store's push list forever
   (merely flagged inactive), so a long-lived store serving a live
   pipeline leaked one dead entry per assessed change;
 * ``append`` used to rebuild the full concatenated array per fragment —
   O(n) copying per push, quadratic over a stream — now replaced by
-  geometrically over-allocated columns.
+  geometrically over-allocated columns;
+* ``series()`` used to hand out a live slice of the column buffer, so
+  any caller mutation silently corrupted the store for every other
+  reader;
+* ``Subscription`` used to be a value-compared dataclass, so cancelling
+  one of two identical registrations could prune the *other* from the
+  push list (``list.remove`` finds the first equal element).
 """
 
 import numpy as np
@@ -75,6 +81,55 @@ class TestSubscriptionLifecycle:
         store.subscribe([key], subscribing_callback)
         store.append(key, TimeSeries(0, 60, [1.0]))
         assert store.subscription_count() == 2
+
+
+class TestSeriesAliasing:
+    def test_series_does_not_alias_the_column_buffer(self, store, key):
+        store.append(key, TimeSeries(0, 60, [1.0, 2.0]))
+        view = store.series(key)
+        assert not np.shares_memory(view.values,
+                                    store._columns[key].values)
+
+    def test_series_view_is_read_only(self, store, key):
+        store.append(key, TimeSeries(0, 60, [1.0, 2.0]))
+        view = store.series(key)
+        assert view.values.flags.writeable is False
+        with pytest.raises(ValueError):
+            view.values[0] = 99.0
+        assert store.series(key).values.tolist() == [1.0, 2.0]
+
+    def test_mutating_a_derived_slice_cannot_corrupt_the_store(
+            self, store, key):
+        store.append(key, TimeSeries(0, 60, [1.0, 2.0, 3.0]))
+        sub = store.series(key).slice_time(60, 180)
+        sub.values[0] = 99.0             # transforms return owning copies
+        assert store.series(key).values.tolist() == [1.0, 2.0, 3.0]
+
+
+class TestSubscriptionIdentity:
+    def test_identical_subscriptions_are_distinct(self, store, key):
+        def callback(k, fragment):
+            pass
+
+        first = store.subscribe([key], callback)
+        second = store.subscribe([key], callback)
+        assert first is not second
+        assert first != second           # identity, not field equality
+
+    def test_cancelling_one_twin_keeps_the_other(self, store, key):
+        got = []
+
+        def callback(k, fragment):
+            got.append(fragment.start)
+
+        first = store.subscribe([key], callback)
+        second = store.subscribe([key], callback)
+        first.cancel()
+        store.append(key, TimeSeries(0, 60, [1.0]))
+        assert got == [0]                # exactly one delivery
+        assert store.subscription_count() == 1
+        second.cancel()
+        assert store.subscription_count() == 0
 
 
 class TestAppendGrowth:

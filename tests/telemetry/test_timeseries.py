@@ -53,13 +53,35 @@ class TestTimeSeries:
         assert coarse.bin_seconds == 180
         np.testing.assert_array_equal(coarse.values, [1.0, 4.0])
 
-    def test_resample_factor_one_is_identity(self):
+    def test_resample_factor_one_returns_owning_copy(self):
+        """Regression: ``resample(1)`` used to return ``self``, aliasing
+        the caller's buffer while every other transform copies."""
         ts = TimeSeries(0, 60, np.arange(5.0))
-        assert ts.resample(1) is ts
+        same = ts.resample(1)
+        assert same is not ts
+        assert same.start == ts.start and same.bin_seconds == ts.bin_seconds
+        np.testing.assert_array_equal(same.values, ts.values)
+        assert not np.shares_memory(same.values, ts.values)
 
     def test_shifted(self):
         ts = TimeSeries(0, 60, [1.0])
         assert ts.shifted(600).start == 600
+
+    @pytest.mark.parametrize("transform", [
+        lambda ts: ts.slice_time(60, 240),
+        lambda ts: ts.resample(1),
+        lambda ts: ts.resample(2),
+        lambda ts: ts.shifted(600),
+    ], ids=["slice_time", "resample_1", "resample_2", "shifted"])
+    def test_transforms_return_owning_copies(self, transform):
+        """Mutation isolation: no transform result may share memory with
+        its source — a mutated result once corrupted cached store views
+        through exactly such aliasing."""
+        ts = TimeSeries(0, 60, np.arange(6.0))
+        derived = transform(ts)
+        assert not np.shares_memory(derived.values, ts.values)
+        derived.values[0] = 99.0
+        np.testing.assert_array_equal(ts.values, np.arange(6.0))
 
     def test_addition_aligned(self):
         a = TimeSeries(0, 60, [1.0, 2.0])

@@ -1,11 +1,19 @@
-"""Engine throughput: items/sec, serial vs. process-pool execution.
+"""Engine throughput: items/sec — serial vs. pool, per-item vs. batched.
 
 Runs the same synthetic fleet job set through
-:func:`repro.engine.execute_jobs` serially and with 1/2/4 workers, and
-writes ``benchmarks/BENCH_engine.json`` with the measured items/sec per
-configuration (plus the host's usable core count — the speedup a pool
-can deliver is bounded by it, so the scaling assertion only fires when
-the cores are actually there).
+:func:`repro.engine.execute_jobs` along two dimensions:
+
+* **per-item** execution at 0/1/2/4 workers (the classic scaling rows);
+* **batched** detect (``detect_mode="batched"``: one stacked scoring
+  pass per batch, per-item attribution for declared jobs only) over a
+  full workers x batch-size grid.
+
+and writes ``benchmarks/BENCH_engine.json`` with items/sec per
+configuration, the batched-vs-per-item serial speedup, and the pooled
+batched speedups.  The host's usable core count is recorded because the
+speedup a process pool can deliver is bounded by it — the scaling
+assertions only fire when the cores are actually there; the
+batched-vs-per-item ratio is algorithmic and holds on any host.
 
 Scale with ``REPRO_BENCH_ENGINE_CHANGES`` (changes in the synthetic
 fleet scenario, default 6).  Runnable standalone::
@@ -20,11 +28,13 @@ import time
 
 from repro.engine import (EngineConfig, FleetScenarioSpec,
                           SyntheticFleetSource, execute_jobs,
-                          spec_for_method)
+                          reset_shared_cache, spec_for_method)
 
 OUT_PATH = pathlib.Path(__file__).parent / "BENCH_engine.json"
 
 WORKER_COUNTS = (0, 1, 2, 4)
+GRID_WORKERS = (0, 1, 2, 4)
+GRID_BATCH_SIZES = (8, 32)
 
 
 def _usable_cpus() -> int:
@@ -43,30 +53,60 @@ def _fleet_jobs():
                                   spec_for_method("improved_sst")]))
 
 
-def _measure(jobs, workers: int) -> dict:
-    config = EngineConfig(workers=workers, batch_size=8)
-    started = time.perf_counter()
-    results = execute_jobs(jobs, config=config)
-    elapsed = time.perf_counter() - started
+def _measure(jobs, workers: int, batch_size: int = 8,
+             detect_mode: str = "per_item", repeats: int = 3) -> dict:
+    # Best-of-N: each configuration is timed ``repeats`` times and the
+    # fastest run wins, damping scheduler noise on small shared hosts.
+    best = None
+    for _ in range(max(1, repeats)):
+        reset_shared_cache()
+        config = EngineConfig(workers=workers, batch_size=batch_size,
+                              detect_mode=detect_mode)
+        started = time.perf_counter()
+        results = execute_jobs(jobs, config=config)
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best[0]:
+            best = (elapsed, len(results))
+    elapsed, n_results = best
     return {
         "workers": workers,
-        "jobs": len(results),
+        "batch_size": batch_size,
+        "detect_mode": detect_mode,
+        "jobs": n_results,
         "seconds": round(elapsed, 4),
-        "items_per_second": round(len(results) / elapsed, 2),
+        "items_per_second": round(n_results / elapsed, 2),
     }
 
 
 def run_bench() -> dict:
     jobs = _fleet_jobs()
     runs = [_measure(jobs, workers) for workers in WORKER_COUNTS]
+    grid = [_measure(jobs, workers, batch_size, detect_mode="batched")
+            for workers in GRID_WORKERS
+            for batch_size in GRID_BATCH_SIZES]
     serial = runs[0]["items_per_second"]
+    batched_by_key = {(r["workers"], r["batch_size"]): r["items_per_second"]
+                      for r in grid}
+    batched_serial = batched_by_key[(0, GRID_BATCH_SIZES[0])]
     report = {
         "cpus": _usable_cpus(),
         "job_count": len(jobs),
         "runs": runs,
+        "batched_grid": grid,
         "speedup_vs_serial": {
             str(r["workers"]): round(r["items_per_second"] / serial, 3)
             for r in runs[1:]
+        },
+        # The tentpole dimension: one stacked scoring pass + vectorised
+        # candidate gating vs. the per-item reference path, both serial.
+        "batched_vs_per_item_serial": round(batched_serial / serial, 3),
+        # Satellite: the pool regression fix — packed (deduped) payloads
+        # mean pooled batched runs are no longer slower than serial.
+        "pooled_batched_speedup": {
+            str(workers): round(
+                batched_by_key[(workers, GRID_BATCH_SIZES[0])]
+                / batched_serial, 3)
+            for workers in GRID_WORKERS[1:]
         },
     }
     OUT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
@@ -82,15 +122,28 @@ def test_engine_throughput(benchmark):
     for run in report["runs"]:
         label = "serial" if run["workers"] == 0 else \
             "%d workers" % run["workers"]
-        print("  %-10s %8.1f items/s" % (label, run["items_per_second"]))
+        print("  per-item %-10s %8.1f items/s"
+              % (label, run["items_per_second"]))
+    for run in report["batched_grid"]:
+        label = "serial" if run["workers"] == 0 else \
+            "%d workers" % run["workers"]
+        print("  batched  %-10s bs=%-3d %8.1f items/s"
+              % (label, run["batch_size"], run["items_per_second"]))
+    print("  batched/per-item (serial): %.2fx"
+          % report["batched_vs_per_item_serial"])
 
-    for run in report["runs"]:
+    for run in report["runs"] + report["batched_grid"]:
         assert run["jobs"] == report["job_count"]
         assert run["items_per_second"] > 0
+    # Stacked detect amortises scoring and gating regardless of cores;
+    # the 1.5x floor leaves headroom for timer noise (typical: >= 2x).
+    assert report["batched_vs_per_item_serial"] >= 1.5
     # Pool scaling needs physical cores; a 1-core container cannot show
-    # it, so the >= 1.5x criterion is asserted only where it can hold.
+    # it, so the scaling criteria are asserted only where they can hold.
     if report["cpus"] >= 4:
         assert report["speedup_vs_serial"]["4"] >= 1.5
+    if report["cpus"] >= 2:
+        assert report["pooled_batched_speedup"]["2"] >= 1.0
 
 
 if __name__ == "__main__":

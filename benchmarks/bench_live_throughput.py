@@ -2,12 +2,15 @@
 
 Replays the same synthetic scenario through
 :func:`repro.live.replay_scenario` at 1x / 4x / 16x the base fleet size
-(servers scale; so do the subscribed KPI streams) and writes
-``benchmarks/BENCH_live.json`` with fragments/sec, p50/p99 detection lag
-in bins, and per-scale wall time.  A final forced-overload round (tiny
-queues, throttled drain budget) verifies that backpressure keeps the
-peak queue depth bounded while the shed counters account for every
-dropped fragment.
+(servers scale; so do the subscribed KPI streams), once with
+per-detector scoring and once with the pooled scoring loop
+(``pooled_scoring=True``: every tracker's pending segment scored in one
+stacked call per tick), and writes ``benchmarks/BENCH_live.json`` with
+fragments/sec, p50/p99 detection lag in bins, per-scale wall time, and
+the pooled-vs-per-detector speedup per scale.  A final forced-overload
+round (tiny queues, throttled drain budget) verifies that backpressure
+keeps the peak queue depth bounded while the shed counters account for
+every dropped fragment.
 
 Scale with ``REPRO_BENCH_LIVE_CHANGES`` (changes per scenario, default
 2).  Runnable standalone::
@@ -23,6 +26,7 @@ import numpy as np
 
 from repro.engine import FleetScenarioSpec
 from repro.live import parity_live_config, replay_scenario
+from repro.live.pool import POOLED_BATCHES_METRIC, POOLED_SERIES_METRIC
 from repro.live.queues import SHED_FRAGMENTS_METRIC
 
 OUT_PATH = pathlib.Path(__file__).parent / "BENCH_live.json"
@@ -51,15 +55,18 @@ def _percentile(values, q):
     return round(float(np.percentile(np.asarray(values, dtype=float), q)), 2)
 
 
-def _measure(scale: int) -> dict:
+def _measure(scale: int, pooled: bool) -> dict:
     spec = _spec(scale)
-    config = parity_live_config(spec, score_chunk_bins=8)
+    config = parity_live_config(spec, score_chunk_bins=8,
+                                pooled_scoring=pooled)
     report = replay_scenario(spec, live_config=config, flush_bins=4)
     lags = list(report.detection_lag_bins)
-    return {
+    counters = report.service_report["counters"]
+    doc = {
         "scale": scale,
         "services": spec.n_services,
         "servers": spec.n_servers,
+        "scoring": "pooled" if pooled else "per_detector",
         "fragments_streamed": report.fragments_streamed,
         "fragments_per_second": round(report.fragments_per_second, 1),
         "wall_seconds": round(report.wall_seconds, 4),
@@ -68,6 +75,13 @@ def _measure(scale: int) -> dict:
         "detection_lag_bins_p99": _percentile(lags, 99),
         "peak_queue_depth": report.service_report["peak_queue_depth"],
     }
+    if pooled:
+        batches = counters.get(POOLED_BATCHES_METRIC, 0)
+        doc["pooled_batches"] = batches
+        doc["pooled_series"] = counters.get(POOLED_SERIES_METRIC, 0)
+        doc["pooled_mean_batch"] = (
+            round(doc["pooled_series"] / batches, 2) if batches else None)
+    return doc
 
 
 def _measure_overload() -> dict:
@@ -88,9 +102,19 @@ def _measure_overload() -> dict:
 
 
 def run_bench() -> dict:
-    runs = [_measure(scale) for scale in SCALES]
+    runs = [_measure(scale, pooled=False) for scale in SCALES]
+    pooled_runs = [_measure(scale, pooled=True) for scale in SCALES]
     overload = _measure_overload()
-    report = {"runs": runs, "overload": overload}
+    report = {
+        "runs": runs,
+        "pooled_runs": pooled_runs,
+        "pooled_speedup": {
+            str(scale): round(pooled["fragments_per_second"]
+                              / plain["fragments_per_second"], 3)
+            for scale, plain, pooled in zip(SCALES, runs, pooled_runs)
+        },
+        "overload": overload,
+    }
     OUT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     return report
 
@@ -100,20 +124,35 @@ def test_live_throughput(benchmark):
 
     print()
     print("Live replay throughput:")
-    for run in report["runs"]:
-        print("  %2dx fleet (%3d servers): %9.0f frag/s, "
+    for run in report["runs"] + report["pooled_runs"]:
+        print("  %2dx fleet (%3d servers, %-12s): %9.0f frag/s, "
               "lag p50=%s p99=%s bins"
-              % (run["scale"], run["servers"],
+              % (run["scale"], run["servers"], run["scoring"],
                  run["fragments_per_second"],
                  run["detection_lag_bins_p50"],
                  run["detection_lag_bins_p99"]))
     overload = report["overload"]
+    print("  pooled speedup by scale: %s" % report["pooled_speedup"])
     print("  overload: shed=%d peak_depth=%d"
           % (overload["shed_fragments"], overload["peak_queue_depth"]))
 
-    for run in report["runs"]:
-        assert run["fragments_per_second"] > 0
-        assert run["verdicts"] > 0
+    for plain, pooled in zip(report["runs"], report["pooled_runs"]):
+        for run in (plain, pooled):
+            assert run["fragments_per_second"] > 0
+            assert run["verdicts"] > 0
+        # Pooling is a throughput mode: identical verdict counts and
+        # identical detection-lag quantiles, by construction.
+        assert pooled["verdicts"] == plain["verdicts"]
+        assert pooled["detection_lag_bins_p50"] == \
+            plain["detection_lag_bins_p50"]
+        assert pooled["detection_lag_bins_p99"] == \
+            plain["detection_lag_bins_p99"]
+        # Each pooled batch must actually stack several detectors.
+        assert pooled["pooled_mean_batch"] is None or \
+            pooled["pooled_mean_batch"] >= 1.0
+    # At fleet scale the stacked pass must not lose to per-detector
+    # scoring (0.85 floor absorbs timer noise; typical: >= 1.5x).
+    assert report["pooled_speedup"]["16"] >= 0.85
     # Backpressure: shedding happened, yet memory stayed bounded and
     # every admitted change still closed with verdicts.
     assert overload["shed_fragments"] > 0

@@ -115,6 +115,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="process-pool size (0 = serial)")
     fleet.add_argument("--batch-size", type=int, default=16,
                        help="jobs per executor batch")
+    fleet.add_argument("--detect-mode", choices=("per_item", "batched"),
+                       default="per_item",
+                       help="per_item runs each job's full pipeline "
+                            "individually; batched stacks same-length "
+                            "funnel-family jobs into one scoring pass "
+                            "(bit-identical results, higher throughput)")
     fleet.add_argument("--seed", type=int, default=7)
     fleet.add_argument("--obs-dir",
                        help="directory to write run artifacts "
@@ -182,6 +188,10 @@ def _add_live_replay_options(live: argparse.ArgumentParser) -> None:
     live.add_argument("--score-chunk", type=int, default=6,
                       help="bins batched per streaming scoring call "
                            "(throughput knob; verdicts are unaffected)")
+    live.add_argument("--pooled-scoring", action="store_true",
+                      help="score all trackers' pending segments in one "
+                           "stacked pass per tick instead of per "
+                           "fragment (bit-identical verdicts)")
     live.add_argument("--queue-capacity", type=int, default=64,
                       help="per-KPI ingest queue bound, in fragments")
     live.add_argument("--drain-budget", type=int, default=0,
@@ -334,6 +344,7 @@ def _cmd_assess_fleet(args: argparse.Namespace) -> dict:
         "history_days": args.history_days,
         "workers": args.workers,
         "batch_size": args.batch_size,
+        "detect_mode": args.detect_mode,
     }
     source = SyntheticFleetSource(FleetScenarioSpec(
         n_services=args.services,
@@ -348,7 +359,8 @@ def _cmd_assess_fleet(args: argparse.Namespace) -> dict:
         detectors=tuple(name.strip()
                         for name in args.detectors.split(",") if name.strip()),
         config=EngineConfig(workers=args.workers,
-                            batch_size=args.batch_size),
+                            batch_size=args.batch_size,
+                            detect_mode=args.detect_mode),
         funnel_config=config,
         obs=obs,
     )
@@ -418,6 +430,7 @@ def _run_live_replay(args: argparse.Namespace, command: str,
     live_config = parity_live_config(
         spec, funnel_config=funnel_config,
         score_chunk_bins=args.score_chunk,
+        pooled_scoring=args.pooled_scoring,
         queue_capacity=args.queue_capacity,
         max_fragments_per_tick=args.drain_budget,
         max_active_changes=args.max_active_changes,
@@ -458,6 +471,7 @@ def _run_live_replay(args: argparse.Namespace, command: str,
                 "changes": args.changes,
                 "flush_bins": args.flush_bins,
                 "score_chunk": args.score_chunk,
+                "pooled_scoring": args.pooled_scoring,
                 "queue_capacity": args.queue_capacity,
                 "drain_budget": args.drain_budget,
                 "max_active_changes": args.max_active_changes,
@@ -508,6 +522,7 @@ def _cmd_obs(args: argparse.Namespace):
     run = load_run(args.obs_dir)
     profile = build_profile(run.spans, top_jobs=args.top)
     counters = _counter_rows(run.metrics)
+    batching = _batching_summary(run.metrics)
     if args.folded:
         lines = folded_stacks(profile)
         with open(args.folded, "w", encoding="utf-8") as fh:
@@ -522,6 +537,8 @@ def _cmd_obs(args: argparse.Namespace):
             "counters": [{"name": name, "labels": labels, "value": value}
                          for name, labels, value in counters],
         }
+        if batching:
+            doc["batching"] = batching
         if args.folded:
             doc["folded"] = args.folded
         return doc
@@ -537,9 +554,54 @@ def _cmd_obs(args: argparse.Namespace):
                                      for kv in sorted(labels.items()))
                    if labels else "")
             text += "  %-46s %12g\n" % (name + tag, value)
+    if batching:
+        text += "\nBatching\n"
+        for label, value in sorted(batching.items()):
+            text += "  %-46s %12g\n" % (label, value)
     if args.folded:
         text += "\nFolded stacks written to %s\n" % args.folded
     return text
+
+
+def _batching_summary(metrics: dict) -> dict:
+    """Batched-detect and pooled-scoring health, from run counters.
+
+    Fill ratio is jobs scored per slot of planned batch capacity (1.0 =
+    every batch full); the packed dedup ratio is rows referenced per row
+    actually pickled across the pool boundary (1.0 = nothing repeated).
+    """
+    from .engine.batching import (BATCHED_BATCHES_METRIC,
+                                  BATCHED_CAPACITY_METRIC,
+                                  BATCHED_JOBS_METRIC, PACKED_ROWS_METRIC,
+                                  PACKED_UNIQUE_ROWS_METRIC)
+    from .live.pool import POOLED_BATCHES_METRIC, POOLED_SERIES_METRIC
+
+    totals = {name: sum(entry.get("value", 0)
+                        for entry in doc.get("values", []))
+              for name, doc in metrics.get("counters", {}).items()}
+    out = {}
+    batches = totals.get(BATCHED_BATCHES_METRIC, 0)
+    if batches:
+        jobs = totals.get(BATCHED_JOBS_METRIC, 0)
+        out["batched_detect_batches"] = batches
+        out["batched_detect_jobs"] = jobs
+        out["batched_detect_mean_size"] = round(jobs / batches, 2)
+        capacity = totals.get(BATCHED_CAPACITY_METRIC, 0)
+        if capacity:
+            out["batched_detect_fill_ratio"] = round(jobs / capacity, 3)
+    pickled = totals.get(PACKED_UNIQUE_ROWS_METRIC, 0)
+    if pickled:
+        out["packed_rows_referenced"] = totals.get(PACKED_ROWS_METRIC, 0)
+        out["packed_rows_pickled"] = pickled
+        out["packed_dedup_ratio"] = round(
+            totals.get(PACKED_ROWS_METRIC, 0) / pickled, 3)
+    pooled = totals.get(POOLED_BATCHES_METRIC, 0)
+    if pooled:
+        series = totals.get(POOLED_SERIES_METRIC, 0)
+        out["pooled_scoring_batches"] = pooled
+        out["pooled_scoring_series"] = series
+        out["pooled_scoring_mean_size"] = round(series / pooled, 2)
+    return out
 
 
 def _counter_rows(metrics: dict) -> list:

@@ -36,7 +36,7 @@ from .did import DiDEstimator, DiDPanel, DiDResult
 from .ika import IkaSST
 from .rsst import ImprovedSSTParams
 from .scoring import (ChangeDeclarationPolicy, declare_changes,
-                      robust_normalise)
+                      robust_normalise, robust_normalise_batch)
 
 __all__ = ["FunnelConfig", "Funnel"]
 
@@ -126,6 +126,56 @@ class Funnel:
         # Pre-existing changes are by definition not caused by this
         # software change; a 1-bin slack absorbs start-estimation jitter.
         return [c for c in declared if c.start_index >= change_index - 1]
+
+    def detect_batch(
+        self, stacked, change_indices: Sequence[int],
+        baseline_stats: Optional[
+            Sequence[Optional[Tuple[float, float]]]] = None,
+    ) -> List[List[DetectedChange]]:
+        """:meth:`detect` for a stack of same-length series at once.
+
+        One batched normalisation and one :meth:`IkaSST.scores_batch`
+        call cover every row; the persistence scan then runs per row on
+        bitwise the same normalised samples and scores the per-series
+        path would produce — with ``gating="batched"``, which
+        precomputes each row's candidate statistics in one vectorised
+        pass instead of per-candidate ``np.median`` calls — so the
+        declared changes are identical to
+        ``[self.detect(row, ci, stats) for row, ci, stats in ...]``.
+
+        Args:
+            stacked: ``(n_series, T)`` treated aggregates.
+            change_indices: per-row software-change bin index.
+            baseline_stats: optional per-row cached ``(median, MAD)``.
+        """
+        stack = np.ascontiguousarray(
+            np.atleast_2d(np.asarray(stacked, dtype=np.float64)))
+        n_series, width = stack.shape
+        indices = [int(ci) for ci in change_indices]
+        if len(indices) != n_series:
+            raise ParameterError(
+                "change_indices must have one entry per row (%d), got %d"
+                % (n_series, len(indices)))
+        for ci in indices:
+            if not 0 <= ci < width:
+                raise ParameterError(
+                    "change_index %d outside series of length %d"
+                    % (ci, width))
+        normalised = robust_normalise_batch(
+            stack, baselines=[max(ci, 1) for ci in indices],
+            stats=baseline_stats)
+        scores = self.scorer.scores_batch(
+            normalised, lengths=[width] * n_series)
+        lookahead = self.config.sst.lookahead - 1
+        out: List[List[DetectedChange]] = []
+        for row in range(n_series):
+            declared = declare_changes(normalised[row], scores[row],
+                                       self.config.policy,
+                                       lookahead=lookahead,
+                                       gating="batched")
+            out.append([c for c in declared
+                        if c.start_index >= indices[row] - 1])
+        return out
 
     # -- attribution ------------------------------------------------------------
 

@@ -24,14 +24,24 @@ Two code paths compute the same transform:
 * :meth:`IkaSST.score_at` / :meth:`IkaSST.scores_reference` — the
   literal per-point algorithm above (one Lanczos recursion and one scalar
   QL solve per future direction).  This is the specification.
-* :meth:`IkaSST.scores` — the deployed path: the identical recursion
-  evaluated for *every* window of the series simultaneously with batched
-  NumPy primitives (strided Hankel views, ``einsum`` for the implicit
-  products, stacked ``eigh`` for the tiny tridiagonals).  In a compiled
-  implementation the per-point path is already fast; under an interpreter
-  the batching recovers the paper's per-window cost profile without
-  changing a single arithmetic step.  The test suite pins the two paths
-  to each other.
+* :meth:`IkaSST.scores` / :meth:`IkaSST.scores_batch` — the deployed
+  path: the identical recursion evaluated for *every* window of *every*
+  series simultaneously with batched NumPy primitives (strided Hankel
+  views, ``einsum`` for the implicit products, stacked ``eigh`` for the
+  tiny tridiagonals).  In a compiled implementation the per-point path
+  is already fast; under an interpreter the batching recovers the
+  paper's per-window cost profile without changing a single arithmetic
+  step.  The test suite pins the two paths to each other.
+
+``scores_batch`` adds a leading *series* axis on top: a stack of
+same-length series becomes one ``(n_series * T, omega, omega)`` eigh and
+one vectorised Lanczos recursion.  ``scores(x)`` is literally
+``scores_batch(x[None])[0]``, so per-series vs. batched parity holds by
+construction; the remaining invariant — a row scores identically no
+matter which stack it is part of — follows from materialising each
+stack contiguously before the einsum products (fixed inner strides for
+any batch size) and from every downstream primitive (stacked ``eigh``,
+per-row norms and medians) operating element-independently per series.
 """
 
 from __future__ import annotations
@@ -41,7 +51,7 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
-from ..exceptions import InsufficientDataError
+from ..exceptions import InsufficientDataError, ParameterError
 from ..types import as_float_array
 from .hankel import HankelOperator, future_matrix
 from .lanczos import krylov_dimension, lanczos
@@ -131,7 +141,7 @@ class IkaSST:
     def scores_reference(self, series: Sequence[float]) -> np.ndarray:
         """Per-point path over the whole series (tests/validation only)."""
         x = as_float_array(series)
-        lo, hi = self._score_range(x)
+        lo, hi = self._score_range(x.size)
         out = np.zeros(x.size, dtype=np.float64)
         for t in range(lo, hi):
             out[t] = self.score_at(x, t)
@@ -145,65 +155,129 @@ class IkaSST:
         """Gated scores for every scoreable index (batched evaluation).
 
         The result has the same length as ``series``; edge indices whose
-        embedding does not fit hold ``0.0``.
+        embedding does not fit hold ``0.0``.  Delegates to
+        :meth:`scores_batch` with a single-row stack, so the per-series
+        and cross-series paths are the same arithmetic by construction.
         """
         x = as_float_array(series)
-        lo, hi = self._score_range(x)
-        out = np.zeros(x.size, dtype=np.float64)
+        self._score_range(x.size)
+        return self.scores_batch(x[None, :], lengths=(x.size,))[0]
 
-        raw = self._raw_scores_batched(x, lo, hi)
-        if self.params.gated:
-            raw *= self._gates_batched(x, lo, hi)
-        out[lo:hi] = raw
+    def scores_batch(self, stacked: Sequence[Sequence[float]],
+                     lengths: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Gated scores for a ``(n_series, T)`` stack of series at once.
+
+        Every row is scored exactly as :meth:`scores` would score it in
+        isolation — bitwise, not merely numerically: rows are always
+        materialised as one contiguous stack before the sliding-window
+        einsum products, so the inner iteration strides (and therefore
+        every floating-point operation order) are independent of the
+        batch size, and the stacked ``eigh`` / per-row reductions
+        downstream are element-independent per series.
+
+        Ragged stacks are supported through NaN padding: trailing NaNs
+        mark a row as shorter, rows are grouped by effective length and
+        each group is scored on its un-padded prefix.  Alternatively
+        pass explicit per-row ``lengths`` (this also disables the NaN
+        interpretation — rows are scored verbatim up to their length).
+
+        Returns:
+            ``(n_series, T)`` array; for each row the entries beyond its
+            effective length, and the edge indices whose embedding does
+            not fit, hold ``0.0``.
+        """
+        stack = np.asarray(stacked, dtype=np.float64)
+        if stack.ndim != 2:
+            raise ParameterError(
+                "scores_batch needs a 2-D (n_series, T) stack, got ndim=%d"
+                % stack.ndim)
+        n_series, width = stack.shape
+        if lengths is None:
+            finite = np.isfinite(stack)
+            rev_first = np.argmax(finite[:, ::-1], axis=1)
+            row_lengths = np.where(finite.any(axis=1), width - rev_first, 0)
+        else:
+            row_lengths = np.asarray(lengths, dtype=np.intp)
+            if row_lengths.shape != (n_series,):
+                raise ParameterError(
+                    "lengths must have one entry per row (%d), got %r"
+                    % (n_series, row_lengths.shape))
+            if row_lengths.size and (row_lengths.min() < 0
+                                     or row_lengths.max() > width):
+                raise ParameterError(
+                    "row lengths must be in [0, %d]" % width)
+
+        out = np.zeros((n_series, width), dtype=np.float64)
+        for length in np.unique(row_lengths):
+            rows = np.flatnonzero(row_lengths == length)
+            lo, hi = self._score_range(int(length))
+            sub = np.ascontiguousarray(stack[rows, :length])
+            raw = self._raw_scores_batched(sub, lo, hi)
+            if self.params.gated:
+                raw *= self._gates_batched(sub, lo, hi)
+            out[rows[:, None], np.arange(lo, hi)[None, :]] = raw
         return out
 
-    def _score_range(self, x: np.ndarray) -> Tuple[int, int]:
+    def _score_range(self, size: int) -> Tuple[int, int]:
         p = self.params
-        lo, hi = p.first_index(), p.last_index(x.size)
+        lo, hi = p.first_index(), p.last_index(size)
         if hi <= lo:
             raise InsufficientDataError(
                 "series of length %d is shorter than the window %d"
-                % (x.size, p.window_length)
+                % (size, p.window_length)
             )
         return lo, hi
 
-    def _raw_scores_batched(self, x: np.ndarray, lo: int,
+    def _raw_scores_batched(self, sub: np.ndarray, lo: int,
                             hi: int) -> np.ndarray:
+        """Raw blended scores for a contiguous ``(R, L)`` stack.
+
+        Returns ``(R, hi - lo)``.  ``sub`` must be C-contiguous so the
+        window views below have batch-size-independent strides.
+        """
         p = self.params
         omega, eta = p.omega, p.eta
         k = min(self.krylov_k, omega)
         span = 2 * omega - 1          # samples per Hankel slice
+        n_rows = sub.shape[0]
 
-        # slices[s] = x[s : s + span]; windows[s, j] = x[s + j : s + j + omega]
-        slices = sliding_window_view(x, span)
-        windows = sliding_window_view(slices, omega, axis=1)
+        # slices[r, s] = sub[r, s : s + span];
+        # windows[r, s, j] = sub[r, s + j : s + j + omega]
+        slices = sliding_window_view(sub, span, axis=1)
+        windows = sliding_window_view(slices, omega, axis=2)
 
         # Future trajectory at t uses the slice starting at t;
         # the past one uses the slice ending at t - 1, i.e. start t - span.
-        fut = windows[lo:hi]                       # (T, delta, omega)
-        past = windows[lo - span:hi - span]        # (T, delta, omega)
-        n_t = fut.shape[0]
+        # Flatten (series, t) into one leading axis: every einsum, the
+        # stacked eigh and the Lanczos recursion below then cover all
+        # windows of all series in single calls.
+        n_t = hi - lo
+        fut = np.ascontiguousarray(
+            windows[:, lo:hi]).reshape(n_rows * n_t, p.delta, omega)
+        past = np.ascontiguousarray(
+            windows[:, lo - span:hi - span]).reshape(
+                n_rows * n_t, p.delta, omega)
 
         # Eigen-pairs of A A^T via the omega x omega Gram matrices.
         gram = np.einsum("tjw,tjv->twv", fut, fut)
-        lam_all, vec_all = np.linalg.eigh(gram)    # ascending per t
+        lam_all, vec_all = np.linalg.eigh(gram)    # ascending per window
         lam_all = np.clip(lam_all, 0.0, None)
         if p.future_directions == "largest":
-            lam = lam_all[:, :-(eta + 1):-1]       # (T, eta) descending
-            betas = vec_all[:, :, :-(eta + 1):-1]  # (T, omega, eta)
+            lam = lam_all[:, :-(eta + 1):-1]       # (R*T, eta) descending
+            betas = vec_all[:, :, :-(eta + 1):-1]  # (R*T, omega, eta)
         else:
             lam = lam_all[:, :eta]
             betas = vec_all[:, :, :eta]
 
-        phi = np.empty((n_t, eta), dtype=np.float64)
+        phi = np.empty((n_rows * n_t, eta), dtype=np.float64)
         for i in range(eta):
             phi[:, i] = self._phi_batched(past, betas[:, :, i], k, eta)
 
         total = lam.sum(axis=1)
-        raw = np.zeros(n_t, dtype=np.float64)
+        raw = np.zeros(n_rows * n_t, dtype=np.float64)
         ok = total > 0.0
         raw[ok] = np.einsum("ti,ti->t", lam[ok], phi[ok]) / total[ok]
-        return raw
+        return raw.reshape(n_rows, n_t)
 
     def _phi_batched(self, past: np.ndarray, seeds: np.ndarray, k: int,
                      eta: int) -> np.ndarray:
@@ -260,14 +334,15 @@ class IkaSST:
         phi = 1.0 - np.sum(top ** 2, axis=1)
         return np.clip(phi, 0.0, 1.0)
 
-    def _gates_batched(self, x: np.ndarray, lo: int, hi: int) -> np.ndarray:
-        """Eq. 11 gate factors for every scoreable index at once."""
+    def _gates_batched(self, sub: np.ndarray, lo: int,
+                       hi: int) -> np.ndarray:
+        """Eq. 11 gate factors for every scoreable index of every row."""
         span = 2 * self.params.omega - 1
-        slices = sliding_window_view(x, span)
-        meds = np.median(slices, axis=1)
-        mads = np.median(np.abs(slices - meds[:, None]), axis=1)
+        slices = sliding_window_view(sub, span, axis=1)
+        meds = np.median(slices, axis=2)
+        mads = np.median(np.abs(slices - meds[:, :, None]), axis=2)
         # before-window of t starts at t - span; after-window starts at t.
         before = slice(lo - span, hi - span)
         after = slice(lo, hi)
-        return np.sqrt(np.abs(meds[before] - meds[after])) + \
-            np.sqrt(np.abs(mads[before] - mads[after]))
+        return np.sqrt(np.abs(meds[:, before] - meds[:, after])) + \
+            np.sqrt(np.abs(mads[:, before] - mads[:, after]))

@@ -28,9 +28,11 @@ from .robust import MAD_TO_SIGMA, median_and_mad
 __all__ = [
     "PERSISTENCE_MINUTES",
     "robust_normalise",
+    "robust_normalise_batch",
     "estimate_change_start",
     "classify_change",
     "ChangeDeclarationPolicy",
+    "candidate_mask",
     "declare_changes",
     "confirm_candidate",
 ]
@@ -75,6 +77,76 @@ def robust_normalise(series: Sequence[float], baseline: Optional[int] = None,
     else:
         med, scale = float(stats[0]), float(stats[1])
     return (x - med) / (MAD_TO_SIGMA * scale + epsilon)
+
+
+def robust_normalise_batch(
+    stacked: Sequence[Sequence[float]],
+    baselines=None,
+    epsilon: float = 1e-9,
+    stats: Optional[Sequence[Optional[Tuple[float, float]]]] = None,
+) -> np.ndarray:
+    """:func:`robust_normalise` for a ``(n_series, T)`` stack at once.
+
+    Row ``i`` of the result is bitwise what
+    ``robust_normalise(stacked[i], baselines[i], epsilon, stats[i])``
+    returns: the per-row medians/MADs partition exactly the same prefix
+    samples (``np.median`` over an axis is row-independent) and the
+    centre/scale transform broadcasts elementwise.
+
+    Args:
+        stacked: the ``(n_series, T)`` KPI stack.
+        baselines: ``None`` (whole rows), one int shared by every row,
+            or a per-row sequence of prefix lengths.
+        epsilon: scale regulariser for constant baselines.
+        stats: optional per-row ``(median, MAD)`` entries; rows whose
+            entry is ``None`` compute their statistics from the prefix.
+    """
+    x = np.asarray(stacked, dtype=np.float64)
+    if x.ndim != 2:
+        raise ParameterError(
+            "robust_normalise_batch needs a 2-D stack, got ndim=%d" % x.ndim)
+    n_series, width = x.shape
+    if width == 0:
+        raise InsufficientDataError("cannot normalise empty series")
+    if baselines is None:
+        row_baselines = np.full(n_series, width, dtype=np.intp)
+    else:
+        row_baselines = np.asarray(baselines, dtype=np.intp)
+        if row_baselines.ndim == 0:
+            row_baselines = np.full(n_series, int(row_baselines),
+                                    dtype=np.intp)
+        elif row_baselines.shape != (n_series,):
+            raise ParameterError(
+                "baselines must be a scalar or one entry per row (%d), "
+                "got shape %r" % (n_series, row_baselines.shape))
+    if n_series and (row_baselines.min() < 1 or row_baselines.max() > width):
+        raise ParameterError(
+            "baselines must be in [1, %d], got %r"
+            % (width, row_baselines.tolist()))
+
+    meds = np.empty(n_series, dtype=np.float64)
+    scales = np.empty(n_series, dtype=np.float64)
+    todo = np.ones(n_series, dtype=bool)
+    if stats is not None:
+        if len(stats) != n_series:
+            raise ParameterError(
+                "stats must have one entry per row (%d), got %d"
+                % (n_series, len(stats)))
+        for i, entry in enumerate(stats):
+            if entry is not None:
+                meds[i] = float(entry[0])
+                scales[i] = float(entry[1])
+                todo[i] = False
+    # Group the remaining rows by prefix length so each group is one
+    # axis-median call over a rectangular block.
+    for baseline in np.unique(row_baselines[todo]):
+        rows = np.flatnonzero(todo & (row_baselines == baseline))
+        prefix = x[rows, :baseline]
+        med = np.median(prefix, axis=1)
+        scale = np.median(np.abs(prefix - med[:, None]), axis=1)
+        meds[rows] = med
+        scales[rows] = scale
+    return (x - meds[:, None]) / (MAD_TO_SIGMA * scales[:, None] + epsilon)
 
 
 def estimate_change_start(series: Sequence[float], detected_at: int,
@@ -194,10 +266,66 @@ class ChangeDeclarationPolicy:
             raise ParameterError("deviation_sigmas must be positive")
 
 
+def _prefix_median_mad(x: np.ndarray,
+                       baselines: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """``median_and_mad(x[:b])`` for many prefix lengths ``b`` at once.
+
+    Median and MAD are exact order statistics: sorting a NaN-padded
+    prefix matrix and averaging the two middle order statistics yields
+    bitwise the values ``np.median`` computes per prefix (``np.median``
+    takes the mean of the two partitioned middles for even sizes and the
+    single middle otherwise).  Requires finite samples — NaN padding is
+    how shorter prefixes are encoded internally.
+    """
+    col = np.arange(x.size)
+    mask = col[None, :] < baselines[:, None]
+    rows = np.arange(baselines.size)
+    lo = (baselines - 1) // 2
+    hi = baselines // 2
+
+    srt = np.sort(np.where(mask, x[None, :], np.nan), axis=1)
+    meds = np.where(lo == hi, srt[rows, lo],
+                    (srt[rows, lo] + srt[rows, hi]) / 2.0)
+    sdev = np.sort(np.where(mask, np.abs(x[None, :] - meds[:, None]), np.nan),
+                   axis=1)
+    scales = np.where(lo == hi, sdev[rows, lo],
+                      (sdev[rows, lo] + sdev[rows, hi]) / 2.0)
+    return meds, scales
+
+
+def _gating_table(x: np.ndarray, candidates: np.ndarray,
+                  policy: ChangeDeclarationPolicy) -> Tuple[
+                      np.ndarray, np.ndarray, np.ndarray]:
+    """Per-candidate confirmation statistics, computed in bulk.
+
+    For each armed candidate ``c`` the persistence rule consumes the
+    baseline ``median_and_mad(x[:max(1, c)])`` and the persistence
+    window's ``median(x[c:c+persistence])``.  The per-candidate path
+    recomputes them one ``np.median`` call at a time — the dominant cost
+    of the declaration scan.  This table computes all of them with two
+    sorts and one axis-median, bitwise equal to the per-candidate calls
+    (pinned in ``tests/core/test_scoring.py``).
+
+    Returns ``(meds, scales, window_medians)`` aligned with
+    ``candidates``; a window median is NaN when the window does not fit
+    the series (the per-candidate path rejects such candidates).
+    """
+    meds, scales = _prefix_median_mad(x, np.maximum(candidates, 1))
+    p = policy.persistence
+    window_meds = np.full(candidates.size, np.nan)
+    decidable = candidates + p <= x.size
+    if np.any(decidable):
+        windows = np.lib.stride_tricks.sliding_window_view(x, p)
+        window_meds[decidable] = np.median(windows[candidates[decidable]],
+                                           axis=1)
+    return meds, scales, window_meds
+
+
 def declare_changes(series: Sequence[float], scores: Sequence[float],
                     policy: Optional[ChangeDeclarationPolicy] = None,
                     first_only: bool = False,
-                    lookahead: int = 0) -> List[DetectedChange]:
+                    lookahead: int = 0,
+                    gating: str = "per_candidate") -> List[DetectedChange]:
     """Apply the persistence rule to a scored series.
 
     A candidate is armed at each index whose score exceeds the
@@ -221,6 +349,13 @@ def declare_changes(series: Sequence[float], scores: Sequence[float],
             score at position ``t`` is only computable once those
             samples have arrived, so the declaration index — and hence
             the detection delay of section 4.4 — must account for them.
+        gating: ``"per_candidate"`` runs :func:`confirm_candidate` per
+            armed index (the reference path; what the streaming scan
+            mirrors); ``"batched"`` precomputes every candidate's
+            baseline/window statistics in one vectorised pass first —
+            same declarations, bit for bit, minus the per-candidate
+            ``np.median`` overhead that dominates the scan.  The batched
+            detect stage uses it (finite samples required).
 
     Returns:
         Declared changes ordered by detection index, each carrying the
@@ -235,23 +370,93 @@ def declare_changes(series: Sequence[float], scores: Sequence[float],
     policy = policy or ChangeDeclarationPolicy()
     if lookahead < 0:
         raise ParameterError("lookahead must be >= 0")
+    if gating not in ("per_candidate", "batched"):
+        raise ParameterError(
+            "gating must be 'per_candidate' or 'batched', got %r" % (gating,))
     changes: List[DetectedChange] = []
-    t = 0
-    n = x.size
-    while t < n:
-        if s[t] <= policy.score_threshold:
-            t += 1
+    # Candidate masking: only armed indices run the (Python-level)
+    # persistence check — equivalent to scanning every index, since
+    # sub-threshold scores were skipped by the scan loop anyway.
+    candidates = np.flatnonzero(candidate_mask(s, policy))
+    if gating == "batched":
+        return _declare_from_table(x, s, candidates, policy, first_only,
+                                   lookahead)
+    resume = 0
+    for t in candidates:
+        if t < resume:
             continue
-        declared = confirm_candidate(x, s, t, policy, lookahead)
+        declared = confirm_candidate(x, s, int(t), policy, lookahead)
         if declared is None:
-            t += 1
+            resume = t + 1
             continue
         changes.append(declared)
         if first_only:
             break
         # Resume scanning after the confirmed persistence window.
-        t = declared.index + 1
+        resume = declared.index + 1
     return changes
+
+
+def _declare_from_table(x: np.ndarray, s: np.ndarray,
+                        candidates: np.ndarray,
+                        policy: ChangeDeclarationPolicy,
+                        first_only: bool,
+                        lookahead: int) -> List[DetectedChange]:
+    """The ``gating="batched"`` scan: :func:`confirm_candidate` semantics
+    driven from a precomputed :func:`_gating_table`.
+
+    Every branch mirrors ``confirm_candidate`` on the same floats, so
+    the declared changes are bitwise those of the per-candidate path —
+    only the start estimation and classification (confirmed candidates
+    only, i.e. rarely) still run per candidate.
+    """
+    meds, scales, window_meds = _gating_table(x, candidates, policy)
+    bands = policy.deviation_sigmas * (MAD_TO_SIGMA * scales + 1e-9)
+    changes: List[DetectedChange] = []
+    resume = 0
+    for i, t in enumerate(candidates):
+        t = int(t)
+        if t < resume:
+            continue
+        resume = t + 1
+        if t + policy.persistence > x.size:
+            continue
+        deviation = window_meds[i] - meds[i]
+        if abs(deviation) <= bands[i]:
+            continue
+        detected_at = t + max(policy.persistence - 1, lookahead)
+        if detected_at >= x.size:
+            continue
+        start = estimate_change_start(
+            x, min(t + policy.persistence - 1, detected_at), baseline=t,
+            threshold_sigmas=policy.deviation_sigmas,
+        )
+        declared = DetectedChange(
+            index=detected_at,
+            start_index=start,
+            score=float(s[t:detected_at + 1].max()),
+            kind=classify_change(x, start, detected_at),
+            direction=1 if deviation > 0 else -1,
+        )
+        changes.append(declared)
+        if first_only:
+            break
+        resume = declared.index + 1
+    return changes
+
+
+def candidate_mask(scores: Sequence[float],
+                   policy: Optional[ChangeDeclarationPolicy] = None
+                   ) -> np.ndarray:
+    """Boolean mask of armed candidate indices (``score > threshold``).
+
+    Accepts a 1-D score series or a 2-D ``(n_series, T)`` stack — the
+    batched detect stage masks the whole score matrix at once and only
+    rows with any armed index enter the per-item declaration scan.
+    """
+    s = np.asarray(scores, dtype=np.float64)
+    policy = policy or ChangeDeclarationPolicy()
+    return s > policy.score_threshold
 
 
 def confirm_candidate(x: np.ndarray, scores: np.ndarray, candidate: int,

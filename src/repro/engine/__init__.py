@@ -30,11 +30,16 @@ batching, worker count, or scheduling order.
 """
 
 from ..obs import ObsContext
+from .batching import (BATCHABLE_DETECTORS, AttributionBatch, DetectBatch,
+                       DetectionRecord, PackedJobs, pack_jobs,
+                       plan_detect_batches, run_attribution_batch,
+                       run_detect_batch, unpack_jobs)
 from .cache import BaselineStatsCache, reset_shared_cache, shared_cache
 from .detectors import (build_detector, detector_names, register_detector,
                         spec_for_method)
 from .engine import AssessmentEngine, FleetAssessmentReport
-from .executor import EngineConfig, execute_jobs, job_seed, run_job
+from .executor import DETECT_MODES, EngineConfig, execute_jobs, job_seed, \
+    run_job
 from .fleet import FleetScenarioSpec, SyntheticFleetSource
 from .instrument import Instrumentation, add_hook, clear_hooks, remove_hook
 from .jobs import AssessmentJob, Detector, DetectorSpec, ItemOutcome, JobResult
@@ -42,13 +47,17 @@ from .planner import (ENTITY_METRICS, FetchedWindow, job_from_item,
                       jobs_from_items, plan_change_jobs)
 
 __all__ = [
-    "AssessmentEngine", "AssessmentJob", "BaselineStatsCache",
+    "AssessmentEngine", "AssessmentJob", "AttributionBatch",
+    "BATCHABLE_DETECTORS", "BaselineStatsCache", "DETECT_MODES",
+    "DetectBatch", "DetectionRecord",
     "Detector", "DetectorSpec", "EngineConfig", "ENTITY_METRICS",
     "FetchedWindow", "FleetAssessmentReport", "FleetScenarioSpec",
     "Instrumentation", "ItemOutcome", "JobResult", "ObsContext",
-    "SyntheticFleetSource",
+    "PackedJobs", "SyntheticFleetSource",
     "add_hook", "build_detector", "clear_hooks", "detector_names",
     "execute_jobs", "job_from_item", "job_seed", "jobs_from_items",
-    "plan_change_jobs", "register_detector", "remove_hook",
-    "reset_shared_cache", "run_job", "shared_cache", "spec_for_method",
+    "pack_jobs", "plan_change_jobs", "plan_detect_batches",
+    "register_detector", "remove_hook", "reset_shared_cache",
+    "run_attribution_batch", "run_detect_batch", "run_job",
+    "shared_cache", "spec_for_method", "unpack_jobs",
 ]

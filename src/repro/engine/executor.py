@@ -39,12 +39,21 @@ from ..exceptions import EngineError
 from ..obs import MetricsRegistry, ObsContext, Tracer, WorkerTelemetry
 from ..obs.metrics import LATENCY_BUCKETS
 from ..obs.tracing import RemoteContext
+from .batching import (BATCHED_BATCHES_METRIC, BATCHED_CAPACITY_METRIC,
+                       BATCHED_JOBS_METRIC, PACKED_ROWS_METRIC,
+                       PACKED_UNIQUE_ROWS_METRIC, AttributionBatch,
+                       DetectBatch, PackedJobs, detect_only_result,
+                       pack_jobs, plan_detect_batches, run_attribution_batch,
+                       run_detect_batch, unpack_jobs)
 from .cache import shared_cache
 from .detectors import build_detector
 from .instrument import Instrumentation, emit_spans
 from .jobs import AssessmentJob, JobResult
 
 __all__ = ["EngineConfig", "job_seed", "run_job", "execute_jobs"]
+
+#: Valid values of :attr:`EngineConfig.detect_mode`.
+DETECT_MODES = ("per_item", "batched")
 
 #: Cap on batches submitted but not yet collected per worker.
 _INFLIGHT_PER_WORKER = 2
@@ -67,10 +76,19 @@ class EngineConfig:
             reference path inline — bit-identical, no pool overhead.
         batch_size: jobs per executor task.  Larger batches amortise
             pickling; smaller ones balance better across workers.
+        detect_mode: ``"per_item"`` runs every job's full pipeline
+            individually; ``"batched"`` stacks funnel-family jobs of
+            equal series length and scores each stack in one
+            :meth:`~repro.core.funnel.Funnel.detect_batch` call, with
+            only the jobs that declared a change proceeding to the
+            per-item DiD attribution stage.  The two modes are
+            bit-identical in results (see :mod:`repro.engine.batching`);
+            batched is the throughput mode.
     """
 
     workers: int = 0
     batch_size: int = 16
+    detect_mode: str = "per_item"
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -78,6 +96,10 @@ class EngineConfig:
         if self.batch_size < 1:
             raise EngineError(
                 "batch_size must be >= 1, got %d" % self.batch_size)
+        if self.detect_mode not in DETECT_MODES:
+            raise EngineError(
+                "detect_mode must be one of %s, got %r"
+                % ("/".join(DETECT_MODES), self.detect_mode))
 
 
 def job_seed(job: AssessmentJob) -> int:
@@ -154,6 +176,88 @@ def _run_batch_observed(jobs: Sequence[AssessmentJob],
                                     metrics=metrics.snapshot())
 
 
+def _run_batch_packed(packed: PackedJobs) -> List[JobResult]:
+    """:func:`_run_batch` on a deduplicated payload (pool submissions).
+
+    Unpacking restores content-identical job arrays, so results are
+    bitwise the results of the unpacked batch — only the pickle volume
+    changes.
+    """
+    return _run_batch(unpack_jobs(packed))
+
+
+def _run_batch_packed_observed(packed: PackedJobs, remote: RemoteContext,
+                               position: int
+                               ) -> Tuple[List[JobResult], WorkerTelemetry]:
+    return _run_batch_observed(unpack_jobs(packed), remote, position)
+
+
+def _run_detect_batch_observed(batch: DetectBatch, remote: RemoteContext,
+                               position: int):
+    """:func:`~repro.engine.batching.run_detect_batch` with telemetry."""
+    tracer = Tracer(remote=remote)
+    metrics = MetricsRegistry()
+    cache = shared_cache()
+    hits_before, misses_before = cache.counters()
+    with tracer.span("detect_batch", batch=position, jobs=batch.size,
+                     detector=batch.spec.name,
+                     series_bins=int(batch.stack.shape[1])):
+        records = run_detect_batch(batch)
+    jobs_total = metrics.counter(JOBS_METRIC, help="Jobs assessed.")
+    latency = metrics.histogram(
+        DETECT_SECONDS_METRIC,
+        help="Detector stage latency per job.", buckets=LATENCY_BUCKETS)
+    for record in records:
+        jobs_total.inc(detector=batch.spec.name)
+        latency.observe(record.detect_seconds, detector=batch.spec.name,
+                        stage="detect")
+    if batch.spec.name == "improved_sst":
+        positives = sum(1 for r in records if r.changes)
+        if positives:
+            metrics.counter(POSITIVES_METRIC,
+                            help="Jobs assessed positive.").inc(
+                positives, detector=batch.spec.name)
+    metrics.counter(BATCHED_BATCHES_METRIC,
+                    help="Stacked detect batches scored.").inc()
+    metrics.counter(BATCHED_JOBS_METRIC,
+                    help="Jobs scored through stacked batches.").inc(
+        batch.size)
+    if cache.hits > hits_before:
+        metrics.counter(CACHE_HITS_METRIC,
+                        help="Baseline-stats cache hits.").inc(
+            cache.hits - hits_before)
+    if cache.misses > misses_before:
+        metrics.counter(CACHE_MISSES_METRIC,
+                        help="Baseline-stats cache misses.").inc(
+            cache.misses - misses_before)
+    return records, WorkerTelemetry(spans=tracer.export(),
+                                    metrics=metrics.snapshot())
+
+
+def _run_attribution_batch_observed(batch: AttributionBatch,
+                                    remote: RemoteContext, position: int):
+    """Attribution stage with telemetry (funnel positives only)."""
+    tracer = Tracer(remote=remote)
+    metrics = MetricsRegistry()
+    with tracer.span("attribute_batch", batch=position,
+                     jobs=len(batch.positions)):
+        out = run_attribution_batch(batch)
+    latency = metrics.histogram(
+        DETECT_SECONDS_METRIC,
+        help="Detector stage latency per job.", buckets=LATENCY_BUCKETS)
+    positives = metrics.counter(POSITIVES_METRIC,
+                                help="Jobs assessed positive.")
+    for _position, result in out:
+        for stage, seconds in result.timings:
+            if stage != "detect":
+                latency.observe(seconds, detector=result.detector,
+                                stage=stage)
+        if result.positive:
+            positives.inc(detector=result.detector)
+    return out, WorkerTelemetry(spans=tracer.export(),
+                                metrics=metrics.snapshot())
+
+
 def _batches(jobs: Iterable[AssessmentJob],
              size: int) -> Iterator[List[AssessmentJob]]:
     batch: List[AssessmentJob] = []
@@ -221,14 +325,20 @@ def execute_jobs(jobs: Iterable[AssessmentJob],
     started = time.perf_counter()
     if obs is not None:
         with obs.tracer.span("execute", workers=config.workers,
-                             batch_size=config.batch_size):
+                             batch_size=config.batch_size,
+                             detect_mode=config.detect_mode):
             remote = obs.remote_context()
-            if config.workers == 0:
+            if config.detect_mode == "batched":
+                results = _execute_batched(jobs, config, instrumentation,
+                                           obs, remote)
+            elif config.workers == 0:
                 results = _execute_serial_observed(
                     jobs, config, instrumentation, obs, remote)
             else:
                 results = _execute_pooled(jobs, config, instrumentation,
                                           obs, remote)
+    elif config.detect_mode == "batched":
+        results = _execute_batched(jobs, config, instrumentation, None, None)
     elif config.workers == 0:
         results = []
         for batch in _batches(jobs, config.batch_size):
@@ -279,11 +389,18 @@ def _execute_pooled(jobs: Iterable[AssessmentJob], config: EngineConfig,
                 done, _ = wait(tuple(pending), return_when=FIRST_COMPLETED)
                 for future in done:
                     ordered[pending.pop(future)] = future.result()
+            # Ship the batch with duplicated series rows deduplicated:
+            # a change's peer-control series repeat across its jobs, so
+            # packing cuts the pickle volume roughly by the control
+            # fan-out (the fix for the 2-worker slowdown in
+            # BENCH_engine.json).
+            packed = pack_jobs(batch)
             if obs is not None:
-                future = pool.submit(_run_batch_observed, batch, remote,
-                                     position)
+                _count_packing(obs, packed)
+                future = pool.submit(_run_batch_packed_observed, packed,
+                                     remote, position)
             else:
-                future = pool.submit(_run_batch, batch)
+                future = pool.submit(_run_batch_packed, packed)
             pending[future] = position
             inflight_peak = max(inflight_peak, len(pending))
         for future, position in pending.items():
@@ -303,3 +420,143 @@ def _execute_pooled(jobs: Iterable[AssessmentJob], config: EngineConfig,
         _record(batch_results, instrumentation)
         results.extend(batch_results)
     return results
+
+
+def _count_packing(obs: ObsContext, packed: PackedJobs) -> None:
+    obs.metrics.counter(
+        PACKED_ROWS_METRIC,
+        help="Series rows referenced by packed pool batches.").inc(
+        packed.total_rows)
+    obs.metrics.counter(
+        PACKED_UNIQUE_ROWS_METRIC,
+        help="Distinct series rows actually pickled to workers.").inc(
+        len(packed.rows))
+
+
+def _run_stage(pool: Optional[ProcessPoolExecutor], max_inflight: int,
+               tasks: Sequence, observed_fn, plain_fn,
+               obs: Optional[ObsContext],
+               remote: Optional[RemoteContext]) -> List:
+    """Run one batched-mode stage's tasks, results in task order.
+
+    Inline when ``pool`` is ``None``; otherwise submitted with the same
+    bounded-inflight discipline as the per-item pooled path.  Worker
+    telemetry is absorbed in task order, so the resulting span stream is
+    deterministic for a given job list.
+    """
+    outputs: List = [None] * len(tasks)
+    if pool is None:
+        for position, task in enumerate(tasks):
+            if obs is not None:
+                outputs[position], telemetry = observed_fn(task, remote,
+                                                           position)
+                _absorb(obs, telemetry)
+            else:
+                outputs[position] = plain_fn(task)
+        return outputs
+    pending: dict = {}
+    for position, task in enumerate(tasks):
+        while len(pending) >= max_inflight:
+            done, _ = wait(tuple(pending), return_when=FIRST_COMPLETED)
+            for future in done:
+                outputs[pending.pop(future)] = future.result()
+        if obs is not None:
+            future = pool.submit(observed_fn, task, remote, position)
+        else:
+            future = pool.submit(plain_fn, task)
+        pending[future] = position
+    for future, position in pending.items():
+        outputs[position] = future.result()
+    if obs is not None:
+        for position, output in enumerate(outputs):
+            outputs[position], telemetry = output
+            _absorb(obs, telemetry)
+    return outputs
+
+
+def _execute_batched(jobs: Iterable[AssessmentJob], config: EngineConfig,
+                     instrumentation: Optional[Instrumentation],
+                     obs: Optional[ObsContext],
+                     remote: Optional[RemoteContext]) -> List[JobResult]:
+    """The two-stage batched mode: stacked detect, then per-item DiD.
+
+    Funnel-family jobs are grouped by series length into stacked
+    batches; each batch crosses the pool boundary as one ndarray.  Only
+    jobs whose batched detect declared a change are packed (control and
+    history rows deduplicated) and shipped to the attribution stage.
+    Baseline detectors fall through to the per-item path.  Results are
+    bitwise the per-item results, in input order.
+    """
+    job_list = list(jobs)
+    detect_batches, passthrough = plan_detect_batches(job_list,
+                                                      config.batch_size)
+    if obs is not None:
+        obs.metrics.counter(
+            BATCHED_CAPACITY_METRIC,
+            help="Stacked-batch slot capacity (batches x batch_size)."
+        ).inc(len(detect_batches) * config.batch_size)
+    max_inflight = max(config.workers * _INFLIGHT_PER_WORKER, 1)
+    results: dict = {}
+    pool = (ProcessPoolExecutor(max_workers=config.workers)
+            if config.workers else None)
+    try:
+        detect_outputs = _run_stage(pool, max_inflight, detect_batches,
+                                    _run_detect_batch_observed,
+                                    run_detect_batch, obs, remote)
+        attr_items: List[tuple] = []
+        for batch, records in zip(detect_batches, detect_outputs):
+            for record in records:
+                job = job_list[record.position]
+                if batch.spec.name == "funnel" and record.changes:
+                    attr_items.append((record.position, job,
+                                       record.changes[0],
+                                       record.detect_seconds))
+                else:
+                    results[record.position] = detect_only_result(
+                        job, batch.spec.name, record)
+        attr_items.sort(key=lambda item: item[0])
+        attr_batches = []
+        for start in range(0, len(attr_items), config.batch_size):
+            chunk = attr_items[start:start + config.batch_size]
+            packed = pack_jobs([job for _, job, _, _ in chunk])
+            if obs is not None and pool is not None:
+                _count_packing(obs, packed)
+            attr_batches.append(AttributionBatch(
+                packed=packed,
+                positions=tuple(item[0] for item in chunk),
+                changes=tuple(item[2] for item in chunk),
+                detect_seconds=tuple(item[3] for item in chunk),
+            ))
+        for output in _run_stage(pool, max_inflight, attr_batches,
+                                 _run_attribution_batch_observed,
+                                 run_attribution_batch, obs, remote):
+            for position, result in output:
+                results[position] = result
+
+        passthrough_batches = list(_batches(
+            [job_list[p] for p in passthrough], config.batch_size))
+        if pool is None:
+            passthrough_outputs = _run_stage(
+                None, max_inflight, passthrough_batches,
+                _run_batch_observed, _run_batch, obs, remote)
+        else:
+            packed_batches = []
+            for batch in passthrough_batches:
+                packed = pack_jobs(batch)
+                if obs is not None:
+                    _count_packing(obs, packed)
+                packed_batches.append(packed)
+            passthrough_outputs = _run_stage(
+                pool, max_inflight, packed_batches,
+                _run_batch_packed_observed, _run_batch_packed, obs, remote)
+        cursor = 0
+        for batch, output in zip(passthrough_batches, passthrough_outputs):
+            for result in output:
+                results[passthrough[cursor]] = result
+                cursor += 1
+    finally:
+        if pool is not None:
+            pool.shutdown()
+    ordered = [results[position] for position in range(len(job_list))]
+    _record(ordered, instrumentation)
+    return ordered

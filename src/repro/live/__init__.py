@@ -22,6 +22,7 @@ from .checkpoint import (Checkpointer, load_checkpoint, restore_service,
                          snapshot_service, write_checkpoint)
 from .config import DROP_NEWEST, DROP_OLDEST, LiveConfig
 from .detector import IncrementalDetector
+from .pool import DetectorPool
 from .queues import IngestQueues
 from .replay import (LiveReplayReport, fleet_kpi_keys,
                      offline_verdict_records, parity_live_config,
@@ -36,7 +37,7 @@ __all__ = [
     "Checkpointer", "load_checkpoint", "restore_service",
     "snapshot_service", "write_checkpoint",
     "DROP_NEWEST", "DROP_OLDEST", "LiveConfig",
-    "IncrementalDetector", "IngestQueues",
+    "DetectorPool", "IncrementalDetector", "IngestQueues",
     "LiveReplayReport", "fleet_kpi_keys", "offline_verdict_records",
     "parity_live_config", "replay_scenario",
     "EventTimeScheduler", "LiveAssessmentService",

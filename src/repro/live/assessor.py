@@ -37,6 +37,7 @@ from ..types import DetectedChange
 from .bus import LiveVerdict, VerdictBus
 from .config import LiveConfig
 from .detector import IncrementalDetector
+from .pool import DetectorPool
 from .queues import IngestQueues
 
 __all__ = ["KpiTracker", "ChangeSession", "LiveAssessor"]
@@ -90,7 +91,8 @@ class KpiTracker:
         self.start_time = start_time
         self.detector = IncrementalDetector(
             change_index, config.funnel,
-            score_chunk_bins=config.score_chunk_bins)
+            score_chunk_bins=config.score_chunk_bins,
+            deferred_scoring=config.pooled_scoring)
         self.change_index = change_index
         self.degraded = False
         self.done = False
@@ -159,6 +161,9 @@ class LiveAssessor:
         self.clock = clock
         #: backoff sleeper between fetch retries (injectable).
         self.sleep = sleep
+        #: stacked cross-detector scorer, active under pooled_scoring.
+        self.pool = (DetectorPool(self.metrics)
+                     if config.pooled_scoring else None)
 
     # -- fragment routing ------------------------------------------------------
 
@@ -248,6 +253,38 @@ class LiveAssessor:
             buffer.extend(fragment.values)
             if session.pending:
                 self._retry_pending(session, now)
+
+    # -- pooled scoring --------------------------------------------------------
+
+    def pool_score(self, sessions: List[ChangeSession], now: int) -> int:
+        """Score every open tracker's pending segment in stacked batches.
+
+        The scheduler calls this once per tick under ``pooled_scoring``,
+        after the drain and before deadline closes: trackers buffered
+        their fragments without scoring (deferred mode), so one
+        :meth:`~repro.live.pool.DetectorPool.score_pending` pass here
+        computes exactly the scores the per-fragment path would have —
+        bitwise — and any declaration routes through the same
+        ``_attribute`` path.  Returns the number of declarations found.
+        """
+        if self.pool is None:
+            return 0
+        work: List[Tuple[ChangeSession, KpiTracker]] = []
+        for session in sessions:
+            for tracker in session.trackers.values():
+                if (tracker.done or tracker.degraded
+                        or tracker.declaration is not None):
+                    continue
+                work.append((session, tracker))
+        if not work:
+            return 0
+        declared = self.pool.score_pending(
+            [tracker.detector for _, tracker in work])
+        for index, declaration in declared:
+            session, tracker = work[index]
+            tracker.declaration = declaration
+            self._attribute(session, tracker, now)
+        return len(declared)
 
     def _mark_gap(self, session: ChangeSession, key: KpiKey,
                   fragment: TimeSeries, expected: int) -> None:

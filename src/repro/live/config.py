@@ -68,6 +68,15 @@ class LiveConfig:
             the assessor truncates every delivery at the session
             deadline — so a grace changes *when* verdicts emit, never
             what they say.
+        pooled_scoring: defer per-fragment scoring and let the
+            scheduler score every tracker's pending segment in stacked
+            cross-detector batches once per tick (one
+            :meth:`repro.core.ika.IkaSST.scores_batch` call per distinct
+            segment length).  The batched call is bitwise the per-series
+            one and the pool runs after the tick's drain — before any
+            deadline close — so declared indices and verdicts are
+            unchanged; only the amount of Python/LAPACK call overhead
+            per tick is.
         repair_from_store: when the push stream skips ahead of a
             session's expected next bin (a dropped or reordered push),
             read the missing range back from the durable metric store
@@ -92,6 +101,7 @@ class LiveConfig:
     fetch_backoff_seconds: float = 0.0
     fetch_timeout_seconds: float = 0.0
     close_grace_seconds: int = 0
+    pooled_scoring: bool = False
     repair_from_store: bool = False
 
     def __post_init__(self) -> None:

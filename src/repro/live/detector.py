@@ -58,11 +58,18 @@ class IncrementalDetector:
 
     def __init__(self, change_index: int,
                  config: Optional[FunnelConfig] = None,
-                 score_chunk_bins: int = 1) -> None:
+                 score_chunk_bins: int = 1,
+                 deferred_scoring: bool = False) -> None:
         self.config = config or FunnelConfig()
         self.scorer = IkaSST(self.config.sst)
         self.change_index = change_index
         self.score_chunk_bins = max(1, score_chunk_bins)
+        #: When True, :meth:`extend` only buffers — a
+        #: :class:`~repro.live.pool.DetectorPool` scores the pending
+        #: segment in a stacked batch via :meth:`pending_segment` /
+        #: :meth:`apply_scores` / :meth:`scan`.  :meth:`flush` bypasses
+        #: the deferral, so a deadline close never loses a declaration.
+        self.deferred = bool(deferred_scoring)
         #: Samples each score consumes on either side of its position.
         self.span = self.config.sst.lead
         #: The wall-clock lag declare_changes charges the score with.
@@ -113,6 +120,7 @@ class IncrementalDetector:
             "denominator": self._denominator,
             "next_score_t": self._next_score_t,
             "scan_t": self._scan_t,
+            "deferred": self.deferred,
             "declared": (None if self.declared is None else {
                 "index": self.declared.index,
                 "start_index": self.declared.start_index,
@@ -135,6 +143,8 @@ class IncrementalDetector:
         self._denominator = float(state["denominator"])
         self._next_score_t = int(state["next_score_t"])
         self._scan_t = int(state["scan_t"])
+        # Absent in pre-pool checkpoints: keep the constructor's choice.
+        self.deferred = bool(state.get("deferred", self.deferred))
         declared = state["declared"]
         self.declared = (None if declared is None
                          else DetectedChange(**declared))
@@ -177,6 +187,8 @@ class IncrementalDetector:
 
         if self._stats is None:
             return None
+        if self.deferred and not flush:
+            return None
         self._score(flush=flush)
         return self._scan()
 
@@ -201,6 +213,54 @@ class IncrementalDetector:
         self._scores[t_lo:t_hi + 1] = \
             segment_scores[self.span:self.span + (t_hi - t_lo + 1)]
         self._next_score_t = t_hi + 1
+
+    # -- pooled scoring --------------------------------------------------------
+
+    def _pending_bounds(self) -> Optional[tuple]:
+        """The ``(t_lo, t_hi)`` score range a pooled pass would fill.
+
+        Exactly the gating of ``_score(flush=False)`` — same chunk
+        threshold — so a pooled detector scores the same ranges on the
+        same ticks a per-detector one would, just in a shared batch.
+        """
+        if self._stats is None or self.declared is not None:
+            return None
+        t_hi = self._n - self.span
+        t_lo = self._next_score_t
+        if t_hi < t_lo or t_hi - t_lo + 1 < self.score_chunk_bins:
+            return None
+        return t_lo, t_hi
+
+    def pending_segment(self) -> Optional[np.ndarray]:
+        """The normalised slice a pooled scoring pass must consume.
+
+        ``None`` when nothing is scoreable yet (or the detector already
+        declared).  The segment is the same ``_norm[t_lo-span:t_hi+span]``
+        view ``_score`` would hand to the scorer.
+        """
+        bounds = self._pending_bounds()
+        if bounds is None:
+            return None
+        t_lo, t_hi = bounds
+        return self._norm[t_lo - self.span:t_hi + self.span]
+
+    def apply_scores(self, segment_scores: np.ndarray) -> None:
+        """Write back one pooled scoring pass over :meth:`pending_segment`.
+
+        Identical write-back to ``_score``; a no-op if nothing was
+        pending (the pool never calls it that way).
+        """
+        bounds = self._pending_bounds()
+        if bounds is None:
+            return
+        t_lo, t_hi = bounds
+        self._scores[t_lo:t_hi + 1] = \
+            segment_scores[self.span:self.span + (t_hi - t_lo + 1)]
+        self._next_score_t = t_hi + 1
+
+    def scan(self) -> Optional[DetectedChange]:
+        """Run the declaration scan after a pooled write-back."""
+        return self._scan()
 
     # -- declaration scan ------------------------------------------------------
 

@@ -1,0 +1,87 @@
+"""Cross-detector pooled scoring for the live service loop.
+
+Per-fragment scoring pays the full fixed cost of one
+:meth:`repro.core.ika.IkaSST.scores` call — Hankel views, einsum
+dispatch, a LAPACK ``eigh`` — per tracker per tick.  At fleet scale a
+tick advances hundreds of trackers by the same bin, so those calls are
+the same computation repeated with different data.  The
+:class:`DetectorPool` exploits that: it collects every
+:class:`~repro.live.detector.IncrementalDetector` with a pending score
+segment, groups the segments by length (trackers admitted at the same
+tick stay in lock-step, so typically one group dominates), stacks each
+group into a ``(n_detectors, segment)`` matrix and scores it with a
+single :meth:`~repro.core.ika.IkaSST.scores_batch` call.
+
+Parity: ``scores_batch`` is bitwise the per-series scorer (pinned in
+``tests/core/test_ika_batch.py``), each detector's write-back and scan
+are the very code the per-detector path runs, and the scheduler invokes
+the pool after the tick's drain and before any deadline close — so a
+pooled replay publishes the same verdict set as a per-detector one, and
+both match the offline engine.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..obs.metrics import MetricsRegistry
+from ..types import DetectedChange
+from .detector import IncrementalDetector
+
+__all__ = ["DetectorPool", "POOLED_BATCHES_METRIC", "POOLED_SERIES_METRIC"]
+
+POOLED_BATCHES_METRIC = "repro_live_pooled_batches_total"
+POOLED_SERIES_METRIC = "repro_live_pooled_series_total"
+
+
+class DetectorPool:
+    """Scores many incremental detectors' pending segments per call."""
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        self.metrics = metrics or MetricsRegistry()
+
+    def score_pending(
+        self, detectors: Sequence[IncrementalDetector],
+    ) -> List[Tuple[int, DetectedChange]]:
+        """One stacked scoring pass over every pending segment.
+
+        Returns ``(index, declaration)`` pairs — indices into
+        ``detectors`` — for every detector whose freshly scored range
+        produced a declaration, in input order within each length group.
+        """
+        pending: List[Tuple[int, np.ndarray]] = []
+        for index, detector in enumerate(detectors):
+            segment = detector.pending_segment()
+            if segment is not None:
+                pending.append((index, segment))
+        if not pending:
+            return []
+        groups: dict = {}
+        for index, segment in pending:
+            # Stackable = same scorer parameters AND same segment width;
+            # a service normally has one config, so one bucket per width.
+            key = (detectors[index].config.sst, segment.size)
+            groups.setdefault(key, []).append((index, segment))
+        declared: List[Tuple[int, DetectedChange]] = []
+        for members in groups.values():
+            stack = np.ascontiguousarray(
+                np.stack([segment for _, segment in members]))
+            scorer = detectors[members[0][0]].scorer
+            rows = scorer.scores_batch(
+                stack, lengths=[stack.shape[1]] * len(members))
+            self.metrics.counter(
+                POOLED_BATCHES_METRIC,
+                help="Stacked scoring calls issued by the pool.").inc()
+            self.metrics.counter(
+                POOLED_SERIES_METRIC,
+                help="Detector segments scored through the pool.",
+            ).inc(len(members))
+            for (index, _segment), row in zip(members, rows):
+                detector = detectors[index]
+                detector.apply_scores(row)
+                declaration = detector.scan()
+                if declaration is not None:
+                    declared.append((index, declaration))
+        return declared

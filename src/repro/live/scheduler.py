@@ -7,7 +7,11 @@ loop for one virtual instant ``now``:
 2. **drain** — queued fragments flow into the assessor under the global
    per-tick budget (``max_fragments_per_tick``), oldest change first so
    the session nearest its deadline gets served before fresher ones;
-3. **close** — every session whose deadline passed is settled: its
+3. **pool-score** (``pooled_scoring`` only) — every tracker's pending
+   score segment, across all sessions, goes through one stacked
+   :class:`~repro.live.pool.DetectorPool` pass instead of the
+   per-fragment calls the drain deferred;
+4. **close** — every session whose deadline passed is settled: its
    detectors flush, open items emit ``no_change``, the subscription is
    cancelled.
 
@@ -59,6 +63,8 @@ class EventTimeScheduler:
         self.watcher.poll(now)
         self._note_depth()  # ingest since the last tick
         self._drain(now)
+        if self.config.pooled_scoring:
+            self.assessor.pool_score(self._sessions_by_age(), now)
         closed = self._close_due(now)
         self._update_gauges(now)
         self.tick_count += 1

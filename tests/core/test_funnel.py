@@ -159,3 +159,50 @@ class TestConfigurationVariants:
         control = 50.0 + rng.normal(0, 0.5, size=(6, 200))
         result = Funnel().assess(series, 100, control=control)
         assert result.verdict is Verdict.CAUSED_BY_CHANGE
+
+
+class TestDetectBatch:
+    def test_matches_per_series_detect(self, rng):
+        stack = []
+        indices = []
+        for i in range(6):
+            treated, _ = correlated_groups(rng)
+            series = treated.mean(axis=0)
+            if i % 2 == 0:
+                series[120:] += rng.uniform(3.0, 7.0)
+            stack.append(series)
+            indices.append(120)
+        stack = np.vstack(stack)
+        funnel = Funnel()
+        batched = funnel.detect_batch(stack, indices)
+        for row in range(stack.shape[0]):
+            assert batched[row] == funnel.detect(stack[row],
+                                                 change_index=indices[row])
+        assert any(batched[0::2])
+
+    def test_mixed_change_indices(self, rng):
+        treated, _ = correlated_groups(rng)
+        a = treated.mean(axis=0).copy()
+        b = treated.mean(axis=0).copy()
+        a[120:] += 5.0
+        b[90:] += 5.0
+        funnel = Funnel()
+        batched = funnel.detect_batch(np.vstack([a, b]), [120, 90])
+        assert batched[0] == funnel.detect(a, change_index=120)
+        assert batched[1] == funnel.detect(b, change_index=90)
+
+    def test_baseline_stats_override(self, rng):
+        treated, _ = correlated_groups(rng)
+        series = treated.mean(axis=0)
+        series[120:] += 5.0
+        funnel = Funnel()
+        from repro.core.robust import median_and_mad
+        stats = median_and_mad(series[:120])
+        with_stats = funnel.detect_batch(series[None, :], [120],
+                                         baseline_stats=[stats])
+        without = funnel.detect_batch(series[None, :], [120])
+        assert with_stats == without
+
+    def test_invalid_change_index(self, rng):
+        with pytest.raises(ParameterError):
+            Funnel().detect_batch(rng.normal(size=(2, 100)), [50, 100])

@@ -1,0 +1,133 @@
+"""Cross-series batched scoring: bitwise parity with the per-series path.
+
+``IkaSST.scores`` delegates to ``scores_batch`` with a single-row stack,
+so the interesting invariant is not "batched matches single" (true by
+construction) but **batch-size invariance**: a row must score to the
+exact same bytes no matter which — or how large — a stack it is part of.
+These tests pin that, plus ragged NaN-padded stacks, explicit lengths,
+and the input validation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.ika import IkaSST
+from repro.core.rsst import ImprovedSSTParams
+from repro.core.scoring import robust_normalise
+from repro.exceptions import InsufficientDataError, ParameterError
+
+
+def _stack(seed: int, n_series: int, length: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    stack = 10.0 + rng.normal(0.0, 0.5, size=(n_series, length))
+    # Give half the rows a genuine step so both score regimes appear.
+    for row in range(0, n_series, 2):
+        stack[row, length // 2:] += rng.uniform(2.0, 5.0)
+    return np.vstack([robust_normalise(row, baseline=length // 2)
+                      for row in stack])
+
+
+class TestBatchSizeInvariance:
+    @pytest.mark.parametrize("params", [
+        ImprovedSSTParams(),
+        ImprovedSSTParams(omega=5, eta=2),
+        ImprovedSSTParams(omega=7, eta=4, future_directions="smallest"),
+        ImprovedSSTParams(gated=False),
+    ])
+    def test_rows_score_bitwise_like_singles(self, params):
+        stack = _stack(seed=11, n_series=6, length=140)
+        ika = IkaSST(params)
+        batched = ika.scores_batch(stack)
+        assert batched.shape == stack.shape
+        for row in range(stack.shape[0]):
+            np.testing.assert_array_equal(batched[row],
+                                          ika.scores(stack[row]))
+
+    def test_sub_stacks_score_bitwise_identically(self):
+        stack = _stack(seed=23, n_series=8, length=120)
+        ika = IkaSST()
+        full = ika.scores_batch(stack)
+        np.testing.assert_array_equal(ika.scores_batch(stack[:3]), full[:3])
+        np.testing.assert_array_equal(ika.scores_batch(stack[3:]), full[3:])
+        shuffled = [5, 0, 7, 2]
+        np.testing.assert_array_equal(ika.scores_batch(stack[shuffled]),
+                                      full[shuffled])
+
+    def test_matches_reference_per_row(self):
+        stack = _stack(seed=7, n_series=3, length=110)
+        ika = IkaSST()
+        batched = ika.scores_batch(stack)
+        for row in range(stack.shape[0]):
+            np.testing.assert_allclose(
+                batched[row], ika.scores_reference(stack[row]), atol=1e-10)
+
+
+class TestRaggedStacks:
+    def test_nan_padding_scores_each_prefix(self):
+        lengths = (140, 90, 120, 140)
+        rows = [_stack(seed=40 + i, n_series=1, length=n)[0]
+                for i, n in enumerate(lengths)]
+        width = max(lengths)
+        padded = np.full((len(rows), width), np.nan)
+        for i, row in enumerate(rows):
+            padded[i, :row.size] = row
+        ika = IkaSST()
+        batched = ika.scores_batch(padded)
+        for i, row in enumerate(rows):
+            np.testing.assert_array_equal(batched[i, :row.size],
+                                          ika.scores(row))
+            assert not batched[i, row.size:].any()
+
+    def test_explicit_lengths_match_nan_padding(self):
+        lengths = (130, 100, 130)
+        rows = [_stack(seed=50 + i, n_series=1, length=n)[0]
+                for i, n in enumerate(lengths)]
+        width = max(lengths)
+        nan_padded = np.full((len(rows), width), np.nan)
+        zero_padded = np.zeros((len(rows), width))
+        for i, row in enumerate(rows):
+            nan_padded[i, :row.size] = row
+            zero_padded[i, :row.size] = row
+        ika = IkaSST()
+        np.testing.assert_array_equal(
+            ika.scores_batch(zero_padded, lengths=lengths),
+            ika.scores_batch(nan_padded))
+
+    def test_all_nan_row_is_too_short(self):
+        """An all-NaN row has effective length 0 — rejected like an
+        empty series, not silently zero-scored."""
+        row = _stack(seed=61, n_series=1, length=120)[0]
+        padded = np.vstack([row, np.full(120, np.nan)])
+        ika = IkaSST()
+        with pytest.raises(InsufficientDataError):
+            ika.scores_batch(padded)
+
+
+class TestValidation:
+    def test_rejects_non_2d(self):
+        ika = IkaSST()
+        with pytest.raises(ParameterError):
+            ika.scores_batch(np.zeros(100))
+        with pytest.raises(ParameterError):
+            ika.scores_batch(np.zeros((2, 3, 4)))
+
+    def test_rejects_mismatched_lengths(self):
+        ika = IkaSST()
+        stack = np.zeros((3, 100))
+        with pytest.raises(ParameterError):
+            ika.scores_batch(stack, lengths=(100, 100))
+
+    def test_rejects_out_of_range_lengths(self):
+        ika = IkaSST()
+        stack = np.zeros((2, 100))
+        with pytest.raises(ParameterError):
+            ika.scores_batch(stack, lengths=(100, 101))
+        with pytest.raises(ParameterError):
+            ika.scores_batch(stack, lengths=(-1, 100))
+
+    def test_too_short_row_raises_like_scores(self):
+        ika = IkaSST()
+        with pytest.raises(InsufficientDataError):
+            ika.scores_batch(np.zeros((2, 10)))
+        with pytest.raises(InsufficientDataError):
+            ika.scores(np.zeros(10))

@@ -6,8 +6,9 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.scoring import (ChangeDeclarationPolicy, PERSISTENCE_MINUTES,
-                                classify_change, declare_changes,
-                                estimate_change_start, robust_normalise)
+                                candidate_mask, classify_change,
+                                declare_changes, estimate_change_start,
+                                robust_normalise, robust_normalise_batch)
 from repro.exceptions import InsufficientDataError, ParameterError
 
 
@@ -177,3 +178,63 @@ class TestDeclareChanges:
         # Confirmation needs at least `persistence` bins from its
         # candidate; candidates cannot precede the start by much.
         assert change.index >= change.start_index + 3
+
+
+class TestRobustNormaliseBatch:
+    def test_rows_match_per_series_bitwise(self, rng):
+        stack = rng.normal(50.0, 2.0, size=(5, 200))
+        batched = robust_normalise_batch(stack)
+        for row in range(stack.shape[0]):
+            np.testing.assert_array_equal(batched[row],
+                                          robust_normalise(stack[row]))
+
+    def test_scalar_and_per_row_baselines(self, rng):
+        stack = rng.normal(size=(4, 150))
+        scalar = robust_normalise_batch(stack, baselines=80)
+        per_row = robust_normalise_batch(stack, baselines=[80, 60, 80, 100])
+        for row in range(4):
+            np.testing.assert_array_equal(
+                scalar[row], robust_normalise(stack[row], baseline=80))
+        for row, baseline in enumerate([80, 60, 80, 100]):
+            np.testing.assert_array_equal(
+                per_row[row],
+                robust_normalise(stack[row], baseline=baseline))
+
+    def test_stats_override_per_row(self, rng):
+        stack = rng.normal(size=(3, 120))
+        stats = [None, (0.5, 2.0), None]
+        batched = robust_normalise_batch(stack, baselines=60, stats=stats)
+        np.testing.assert_array_equal(
+            batched[0], robust_normalise(stack[0], baseline=60))
+        np.testing.assert_array_equal(
+            batched[1],
+            robust_normalise(stack[1], baseline=60, stats=(0.5, 2.0)))
+
+    def test_rejects_non_2d_and_bad_baselines(self, rng):
+        with pytest.raises(ParameterError):
+            robust_normalise_batch(rng.normal(size=50))
+        stack = rng.normal(size=(2, 50))
+        with pytest.raises(ParameterError):
+            robust_normalise_batch(stack, baselines=[10])
+        with pytest.raises(ParameterError):
+            robust_normalise_batch(stack, baselines=[10, 51])
+        with pytest.raises(ParameterError):
+            robust_normalise_batch(stack, baselines=0)
+
+
+class TestCandidateMask:
+    def test_matches_threshold_scan(self, rng):
+        scores = rng.uniform(0.0, 2.0, size=100)
+        policy = ChangeDeclarationPolicy()
+        mask = candidate_mask(scores, policy)
+        np.testing.assert_array_equal(
+            mask, scores > policy.score_threshold)
+
+    def test_accepts_2d_stack(self, rng):
+        scores = rng.uniform(0.0, 2.0, size=(3, 80))
+        mask = candidate_mask(scores)
+        assert mask.shape == scores.shape
+        policy = ChangeDeclarationPolicy()
+        for row in range(3):
+            np.testing.assert_array_equal(
+                mask[row], candidate_mask(scores[row], policy))

@@ -7,9 +7,10 @@ results and re-emits it in the parent — these tests pin the contract:
 aggregate counters, histogram counts, span counts and hook event counts
 are identical whether the batches ran inline or across a pool.
 
-Gauges are deliberately excluded: the in-flight-batches gauge only
-exists for pooled runs (serial has no pool), so parity is defined over
-counters + histograms + spans + hook events.
+Gauges and transport counters are deliberately excluded: the
+in-flight-batches gauge and the packed-payload row counters only exist
+for pooled runs (serial pickles nothing), so parity is defined over the
+remaining counters + histograms + spans + hook events.
 """
 
 from collections import Counter as TallyCounter
@@ -20,8 +21,13 @@ from repro.engine import (AssessmentEngine, EngineConfig, FleetScenarioSpec,
                           Instrumentation, SyntheticFleetSource, add_hook,
                           clear_hooks, execute_jobs, remove_hook,
                           reset_shared_cache, spec_for_method)
+from repro.engine.batching import (PACKED_ROWS_METRIC,
+                                   PACKED_UNIQUE_ROWS_METRIC)
 from repro.engine.executor import INFLIGHT_GAUGE
 from repro.obs import ObsContext
+
+#: Pool-transport bookkeeping: present only when batches are pickled.
+TRANSPORT_COUNTERS = (PACKED_ROWS_METRIC, PACKED_UNIQUE_ROWS_METRIC)
 
 
 @pytest.fixture(scope="module")
@@ -63,7 +69,8 @@ def _counter_values(obs):
     snap = obs.metrics.snapshot()
     return {name: {tuple(sorted(entry["labels"].items())): entry["value"]
                    for entry in doc["values"]}
-            for name, doc in snap["counters"].items()}
+            for name, doc in snap["counters"].items()
+            if name not in TRANSPORT_COUNTERS}
 
 
 def _histogram_counts(obs):
@@ -134,6 +141,21 @@ class TestWorkerChannelParity:
         _, pooled_obs, _ = _observed_run(fleet_jobs[:8], workers=2)
         assert INFLIGHT_GAUGE not in serial_obs.metrics.snapshot()["gauges"]
         assert pooled_obs.metrics.gauge(INFLIGHT_GAUGE).value() >= 1
+
+    def test_packed_counters_are_pooled_only(self, fleet_jobs):
+        _, serial_obs, _ = _observed_run(fleet_jobs[:8], workers=0)
+        _, pooled_obs, _ = _observed_run(fleet_jobs[:8], workers=2)
+        serial_names = serial_obs.metrics.snapshot()["counters"]
+        for name in TRANSPORT_COUNTERS:
+            assert name not in serial_names
+        referenced = pooled_obs.metrics.counter(PACKED_ROWS_METRIC).value()
+        pickled = pooled_obs.metrics.counter(
+            PACKED_UNIQUE_ROWS_METRIC).value()
+        # This scenario treats one server per change, so nothing repeats
+        # within a batch — but packing must never pickle more than the
+        # jobs reference.  (The dedup win itself is pinned on a
+        # multi-treated-server scenario in test_batched.py.)
+        assert 0 < pickled <= referenced
 
     def test_outcomes_identical_with_obs_off(self, fleet_jobs):
         reset_shared_cache()

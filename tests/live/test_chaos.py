@@ -184,3 +184,15 @@ class TestFetchRetryUnit:
             sleep=sleeps.append)
         assert healthy is False
         assert sleeps == [0.5, 1.0]
+
+
+class TestPooledChaosParity:
+    @pytest.mark.parametrize("preset", ["drop-delay-dup", "all"])
+    def test_parity_survives_preset_with_pooled_scoring(self, preset):
+        plan = preset_plan(preset, seed=11,
+                           lead_time=SPEC.lead_bins * MINUTE)
+        report = run_chaos(SPEC, plan, check_offline=True,
+                           pooled_scoring=True)
+        assert report.parity_ok is True
+        assert report.parity["live_only"] == []
+        assert report.parity["offline_only"] == []

@@ -178,3 +178,60 @@ class TestGuards:
                                     every_ticks=5)
         assert checkpointer.on_tick(0, 5) is False
         assert checkpointer.written == 0
+
+
+class TestPooledScoringResume:
+    """PR 5's kill-and-resume contract must survive pooled scoring: the
+    detector state dict now carries the deferral flag, old checkpoints
+    without it still load, and a pooled replay resumed mid-stream
+    publishes the uninterrupted run's verdict bytes."""
+
+    def test_pooled_kill_and_resume_is_bit_identical(self, tmp_path):
+        config = parity_live_config(SPEC, pooled_scoring=True)
+        baseline = replay_scenario(SPEC, live_config=config)
+        path = str(tmp_path / "pooled.ckpt")
+        killed = replay_scenario(SPEC, live_config=config,
+                                 checkpoint_path=path, checkpoint_every=10,
+                                 kill_after_ticks=KILL_AT)
+        assert killed.killed is True
+        reset_shared_cache()
+        resumed = replay_scenario(SPEC, live_config=config,
+                                  resume_from=path, check_offline=True)
+        assert resumed.resumed is True
+        assert verdict_bytes(resumed) == verdict_bytes(baseline)
+        assert resumed.parity_ok is True
+
+    def test_state_dict_round_trips_deferred_flag(self):
+        import numpy as np
+        from repro.live import IncrementalDetector
+        rng = np.random.default_rng(3)
+        x = 10.0 + rng.normal(0, 0.5, size=90)
+        deferred = IncrementalDetector(60, deferred_scoring=True)
+        deferred.extend(x)
+        state = deferred.state_dict()
+        assert state["deferred"] is True
+        clone = IncrementalDetector(60)
+        clone.load_state(state)
+        assert clone.deferred is True
+        assert clone.pending_segment() is not None
+
+    def test_pre_pool_checkpoint_state_still_loads(self):
+        """A checkpoint written before the pooled-scoring field existed
+        has no "deferred" key — loading keeps the constructor's mode and
+        the restored detector continues bit-identically."""
+        import numpy as np
+        from repro.live import IncrementalDetector
+        rng = np.random.default_rng(9)
+        x = 10.0 + rng.normal(0, 0.5, size=200)
+        x[120:] += 5.0
+        original = IncrementalDetector(120)
+        original.extend(x[:150])
+        state = original.state_dict()
+        state.pop("deferred")          # simulate the old format
+        restored = IncrementalDetector(120)
+        restored.load_state(state)
+        assert restored.deferred is False
+        a = original.extend(x[150:])
+        b = restored.extend(x[150:])
+        assert a == b
+        np.testing.assert_array_equal(original.scores, restored.scores)

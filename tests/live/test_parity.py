@@ -45,3 +45,44 @@ class TestParity:
     def test_verdict_count_matches_job_count(self, offline_records):
         report = replay_scenario(SPEC)
         assert len(report.verdicts) == len(offline_records)
+
+
+class TestPooledScoringParity:
+    """Pooled (stacked cross-detector) scoring is a throughput mode:
+    the verdict stream must be identical to per-detector scoring —
+    field for field, not merely as parity records."""
+
+    def test_pooled_equals_offline(self, offline_records):
+        config = parity_live_config(SPEC, pooled_scoring=True)
+        report = replay_scenario(SPEC, live_config=config)
+        assert report.live_records() == offline_records
+
+    def test_pooled_verdicts_bit_identical_to_per_detector(self):
+        """Same verdict *documents* — every field including emitted_at
+        and did_estimate — with only intra-tick bus order free to
+        differ (per-detector emits mid-drain, pooled after the drain)."""
+        plain = replay_scenario(SPEC)
+        pooled = replay_scenario(
+            SPEC, live_config=parity_live_config(SPEC, pooled_scoring=True))
+        key = lambda doc: sorted((k, repr(v)) for k, v in doc.items())
+        assert sorted((v.as_dict() for v in plain.verdicts), key=key) == \
+            sorted((v.as_dict() for v in pooled.verdicts), key=key)
+
+    def test_pooled_composes_with_chunking_and_batching(self,
+                                                        offline_records):
+        config = parity_live_config(SPEC, pooled_scoring=True,
+                                    score_chunk_bins=7)
+        report = replay_scenario(SPEC, live_config=config, flush_bins=5)
+        assert report.live_records() == offline_records
+
+    def test_pool_actually_stacks(self):
+        from repro.live.pool import (POOLED_BATCHES_METRIC,
+                                     POOLED_SERIES_METRIC)
+        config = parity_live_config(SPEC, pooled_scoring=True)
+        report = replay_scenario(SPEC, live_config=config)
+        counters = report.service_report["counters"]
+        batches = counters[POOLED_BATCHES_METRIC]
+        series = counters[POOLED_SERIES_METRIC]
+        assert batches > 0
+        # The whole point: many detector segments per scoring call.
+        assert series / batches > 1.0

@@ -1,0 +1,72 @@
+"""Unit tests for the cross-detector scoring pool."""
+
+import numpy as np
+
+from repro.live import DetectorPool, IncrementalDetector
+from repro.live.pool import POOLED_BATCHES_METRIC, POOLED_SERIES_METRIC
+from repro.obs.metrics import MetricsRegistry
+
+
+def _detector(seed, n=150, change_index=80, step=0.0):
+    rng = np.random.default_rng(seed)
+    x = 10.0 + rng.normal(0, 0.5, size=n)
+    if step:
+        x[change_index:] += step
+    detector = IncrementalDetector(change_index, deferred_scoring=True)
+    detector.extend(x)
+    return detector, x
+
+
+class TestDetectorPool:
+    def test_pooled_scores_match_per_detector(self):
+        pooled = [_detector(seed, step=5.0 * (seed % 2))
+                  for seed in range(5)]
+        pool = DetectorPool()
+        declared = pool.score_pending([d for d, _ in pooled])
+        for (detector, x), _ in zip(pooled, range(len(pooled))):
+            solo = IncrementalDetector(detector.change_index)
+            solo.extend(x)
+            np.testing.assert_array_equal(detector.scores, solo.scores)
+            assert detector.declared == solo.declared
+        declared_indices = {index for index, _ in declared}
+        for i, (detector, _) in enumerate(pooled):
+            assert (i in declared_indices) == \
+                (detector.declared is not None)
+
+    def test_mixed_lengths_score_in_separate_stacks(self):
+        short, x_short = _detector(1, n=110, step=5.0)
+        long, x_long = _detector(2, n=160, step=5.0)
+        registry = MetricsRegistry()
+        pool = DetectorPool(registry)
+        pool.score_pending([short, long])
+        counters = registry.snapshot()["counters"]
+        batches = sum(e["value"]
+                      for e in counters[POOLED_BATCHES_METRIC]["values"])
+        series = sum(e["value"]
+                     for e in counters[POOLED_SERIES_METRIC]["values"])
+        assert batches == 2          # one stack per segment length
+        assert series == 2
+        for detector, x in ((short, x_short), (long, x_long)):
+            solo = IncrementalDetector(detector.change_index)
+            solo.extend(x)
+            np.testing.assert_array_equal(detector.scores, solo.scores)
+
+    def test_nothing_pending_is_a_noop(self):
+        detector, _ = _detector(3)
+        pool = DetectorPool()
+        pool.score_pending([detector])
+        registry = MetricsRegistry()
+        counted = DetectorPool(registry)
+        assert counted.score_pending([detector]) == []
+        assert POOLED_BATCHES_METRIC not in \
+            registry.snapshot()["counters"]
+
+    def test_declared_detector_is_skipped(self):
+        detector, _ = _detector(4, step=6.0)
+        pool = DetectorPool()
+        declared = pool.score_pending([detector])
+        assert declared and detector.declared is not None
+        # More data arrives; the detector is done declaring.
+        detector.extend(np.full(10, 10.0))
+        assert detector.pending_segment() is None
+        assert pool.score_pending([detector]) == []

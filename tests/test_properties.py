@@ -13,6 +13,7 @@ from hypothesis import strategies as st
 
 from repro.core.funnel import Funnel
 from repro.core.ika import IkaSST
+from repro.core.rsst import ImprovedSSTParams
 from repro.core.scoring import robust_normalise
 from repro.core.streaming import StreamingDetector
 from repro.eval.confusion import ConfusionMatrix
@@ -75,6 +76,48 @@ class TestDetectionInvariances:
         padded = np.r_[10.0 + rng.normal(0, 0.5, size=pad), x]
         shifted = Funnel().detect(padded, change_index=120 + pad)
         assert bool(base) == bool(shifted)
+
+
+class TestBatchedScoringParity:
+    """``scores_batch`` is the deployed cross-series path; the per-point
+    ``scores_reference`` is the specification.  Pin them element-wise
+    over random stacks, parameters, and NaN-padded ragged layouts."""
+
+    @given(seeds, st.integers(1, 5), st.integers(80, 160),
+           st.sampled_from([(5, 2), (7, 3), (9, 3), (9, 5)]))
+    @settings(max_examples=10, deadline=None)
+    def test_batch_matches_reference(self, seed, n_series, length, shape):
+        omega, eta = shape
+        rng = np.random.default_rng(seed)
+        stack = rng.normal(size=(n_series, length))
+        stack[:, length // 2:] += rng.uniform(0.0, 5.0, size=(n_series, 1))
+        ika = IkaSST(ImprovedSSTParams(omega=omega, eta=eta))
+        batched = ika.scores_batch(stack)
+        for row in range(n_series):
+            np.testing.assert_allclose(
+                batched[row], ika.scores_reference(stack[row]), atol=1e-10)
+            np.testing.assert_array_equal(batched[row],
+                                          ika.scores(stack[row]))
+
+    @given(seeds, st.lists(st.integers(70, 150), min_size=2, max_size=5))
+    @settings(max_examples=10, deadline=None)
+    def test_ragged_nan_stack_matches_reference(self, seed, lengths):
+        rng = np.random.default_rng(seed)
+        width = max(lengths)
+        padded = np.full((len(lengths), width), np.nan)
+        rows = []
+        for i, n in enumerate(lengths):
+            row = rng.normal(size=n)
+            row[n // 2:] += 4.0
+            rows.append(row)
+            padded[i, :n] = row
+        ika = IkaSST()
+        batched = ika.scores_batch(padded)
+        for i, row in enumerate(rows):
+            np.testing.assert_allclose(
+                batched[i, :row.size], ika.scores_reference(row),
+                atol=1e-10)
+            assert not batched[i, row.size:].any()
 
 
 class TestEvaluationAlgebra:

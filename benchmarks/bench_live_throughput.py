@@ -22,12 +22,11 @@ import json
 import os
 import pathlib
 
-import numpy as np
-
 from repro.engine import FleetScenarioSpec
 from repro.live import parity_live_config, replay_scenario
 from repro.live.pool import POOLED_BATCHES_METRIC, POOLED_SERIES_METRIC
 from repro.live.queues import SHED_FRAGMENTS_METRIC
+from repro.obs.metrics import Histogram
 
 OUT_PATH = pathlib.Path(__file__).parent / "BENCH_live.json"
 
@@ -49,10 +48,20 @@ def _spec(scale: int) -> FleetScenarioSpec:
     )
 
 
+#: Detection-lag buckets (bins): single-bin resolution through the
+#: interesting low range, then coarser out to a full window.
+LAG_BUCKETS = tuple(float(b) for b in range(1, 33)) + (
+    48.0, 64.0, 96.0, 128.0, 192.0, 256.0)
+
+
 def _percentile(values, q):
+    """Bucketed estimate, same estimator the health telemetry reports."""
     if not values:
         return None
-    return round(float(np.percentile(np.asarray(values, dtype=float), q)), 2)
+    hist = Histogram("bench_detection_lag_bins", buckets=LAG_BUCKETS)
+    for value in values:
+        hist.observe(float(value))
+    return round(hist.percentile(q), 2)
 
 
 def _measure(scale: int, pooled: bool) -> dict:

@@ -28,6 +28,10 @@ Commands:
   ASCII table plus the run's counters (including the live pipeline's
   shed/gap counters), optionally exporting flamegraph ``folded``
   stacks.
+* ``obs health-report`` — render a live run's heartbeat stream
+  (``live-replay --health <path>``): SLO attainment, burn alerts, lag
+  percentiles over time, and FUNNEL-on-FUNNEL self-assessment verdicts;
+  ``--min/--max-self-detections`` turn it into a CI gate.
 
 All commands emit JSON on stdout so they compose with shell tooling —
 except ``obs report``, whose default output is the human-readable
@@ -150,6 +154,10 @@ def build_parser() -> argparse.ArgumentParser:
                            _chaos_plan_names()))
     chaos.add_argument("--fault-seed", type=int, default=0,
                        help="seed of the fault plan's deterministic coin")
+    chaos.add_argument("--fault-offset-bins", type=int, default=0,
+                       help="push windowed faults (agent-silence) this "
+                            "many bins into the stream — a mid-run "
+                            "outage instead of a cold-start one")
     _add_funnel_options(chaos)
 
     obs = sub.add_parser("obs", help="observability tooling")
@@ -163,6 +171,23 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also write flamegraph folded stacks here")
     report.add_argument("--json", action="store_true",
                         help="emit the profile as JSON instead of a table")
+    health = obs_sub.add_parser(
+        "health-report",
+        help="render a live run's heartbeat stream: SLO attainment, "
+             "burn alerts, lag over time, self-assessment verdicts")
+    health.add_argument("heartbeat",
+                        help="heartbeat JSONL written by --health")
+    health.add_argument("--json", action="store_true",
+                        help="emit the report as JSON instead of text")
+    health.add_argument("--out",
+                        help="also write the JSON report here "
+                             "(dashboard export)")
+    health.add_argument("--min-self-detections", type=int, default=None,
+                        help="exit 1 unless at least this many "
+                             "self-assessment detections were recorded")
+    health.add_argument("--max-self-detections", type=int, default=None,
+                        help="exit 1 when more than this many "
+                             "self-assessment detections were recorded")
 
     return parser
 
@@ -216,6 +241,11 @@ def _add_live_replay_options(live: argparse.ArgumentParser) -> None:
                       help="write the verdict stream as JSONL here")
     live.add_argument("--obs-dir",
                       help="directory to write run artifacts into")
+    live.add_argument("--health",
+                      help="write a per-tick health heartbeat stream "
+                           "(JSONL) here; enables SLO tracking and the "
+                           "FUNNEL-on-FUNNEL self-assessment loop "
+                           "(verdict output is unaffected)")
 
 
 def _add_funnel_options(sub: argparse.ArgumentParser) -> None:
@@ -438,6 +468,10 @@ def _run_live_replay(args: argparse.Namespace, command: str,
     )
     obs = ObsContext() if args.obs_dir else None
     sink = JsonlVerdictSink(args.verdicts) if args.verdicts else None
+    health = None
+    if getattr(args, "health", None):
+        from .obs import HealthConfig, HealthMonitor
+        health = HealthMonitor(HealthConfig(heartbeat_path=args.health))
     try:
         report = replay_scenario(
             spec, live_config=live_config, flush_bins=args.flush_bins,
@@ -446,7 +480,8 @@ def _run_live_replay(args: argparse.Namespace, command: str,
             checkpoint_path=args.checkpoint,
             checkpoint_every=args.checkpoint_every,
             resume_from=args.resume_from,
-            kill_after_ticks=args.kill_after_ticks or None)
+            kill_after_ticks=args.kill_after_ticks or None,
+            health=health)
     finally:
         if sink is not None:
             sink.close()
@@ -459,6 +494,8 @@ def _run_live_replay(args: argparse.Namespace, command: str,
     out.pop("emission_lag_seconds")
     if args.verdicts:
         out["verdicts_path"] = args.verdicts
+    if health is not None:
+        out["health_path"] = args.health
     if args.checkpoint:
         out["checkpoint_path"] = args.checkpoint
     if obs is not None:
@@ -495,7 +532,8 @@ def _cmd_chaos_replay(args: argparse.Namespace):
 
     lead_time = args.history_days * 24 * 60 * MINUTE
     plan = preset_plan(args.plan, seed=args.fault_seed,
-                       lead_time=lead_time, bin_seconds=MINUTE)
+                       lead_time=lead_time, bin_seconds=MINUTE,
+                       offset_bins=args.fault_offset_bins)
     # The close grace must cover the worst injected delivery delay so
     # late releases still drain before the session settles.
     grace = max((rule.delay_bins for rule in plan.rules
@@ -517,6 +555,42 @@ def _cmd_chaos_replay(args: argparse.Namespace):
 
 
 def _cmd_obs(args: argparse.Namespace):
+    if args.obs_command == "health-report":
+        return _cmd_obs_health_report(args)
+    return _cmd_obs_report(args)
+
+
+def _cmd_obs_health_report(args: argparse.Namespace):
+    from .obs import (build_health_report, load_heartbeat,
+                      render_health_report)
+
+    report = build_health_report(load_heartbeat(args.heartbeat))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    detections = len(report["self_detections"])
+    code = 0
+    if args.min_self_detections is not None \
+            and detections < args.min_self_detections:
+        code = 1
+    if args.max_self_detections is not None \
+            and detections > args.max_self_detections:
+        code = 1
+    if args.json:
+        return dict(report, exit_reason=(
+            None if code == 0 else
+            "self-detection count %d outside the required bounds"
+            % detections)), code
+    text = render_health_report(report)
+    if code:
+        text += ("ERROR: self-detection count %d outside the required "
+                 "bounds (min=%s, max=%s)\n"
+                 % (detections, args.min_self_detections,
+                    args.max_self_detections))
+    return text, code
+
+
+def _cmd_obs_report(args: argparse.Namespace):
     from .obs import build_profile, folded_stacks, load_run, render_table
 
     run = load_run(args.obs_dir)
@@ -576,9 +650,10 @@ def _batching_summary(metrics: dict) -> dict:
                                   PACKED_UNIQUE_ROWS_METRIC)
     from .live.pool import POOLED_BATCHES_METRIC, POOLED_SERIES_METRIC
 
+    counters = (metrics or {}).get("counters") or {}
     totals = {name: sum(entry.get("value", 0)
-                        for entry in doc.get("values", []))
-              for name, doc in metrics.get("counters", {}).items()}
+                        for entry in doc.get("values") or ())
+              for name, doc in counters.items()}
     out = {}
     batches = totals.get(BATCHED_BATCHES_METRIC, 0)
     if batches:
@@ -605,10 +680,16 @@ def _batching_summary(metrics: dict) -> dict:
 
 
 def _counter_rows(metrics: dict) -> list:
-    """Flatten a metrics snapshot's counters to (name, labels, value)."""
+    """Flatten a metrics snapshot's counters to (name, labels, value).
+
+    Tolerates the degenerate shapes an empty or truncated run leaves
+    behind: a ``None`` snapshot, a missing ``counters`` section, or
+    ``null`` value lists.
+    """
     rows = []
-    for name, doc in sorted(metrics.get("counters", {}).items()):
-        for entry in doc.get("values", []):
+    counters = (metrics or {}).get("counters") or {}
+    for name, doc in sorted(counters.items()):
+        for entry in doc.get("values") or ():
             rows.append((name, entry.get("labels", {}),
                          entry.get("value", 0)))
     return rows

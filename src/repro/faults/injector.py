@@ -107,6 +107,15 @@ class FaultyMetricStore:
     def bin_seconds(self) -> int:
         return self.inner.bin_seconds
 
+    @property
+    def appended_fragments(self) -> int:
+        """Durably ingested fragments (held ones count on release)."""
+        return self.inner.appended_fragments
+
+    @property
+    def appended_bins(self) -> int:
+        return self.inner.appended_bins
+
     def bind_metrics(self, metrics: MetricsRegistry) -> None:
         self.metrics = metrics
 

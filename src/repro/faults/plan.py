@@ -229,12 +229,18 @@ PRESET_NAMES = ("none", "drop-delay-dup", "reorder", "flaky-history",
 
 
 def preset_plan(name: str, seed: int = 0,
-                lead_time: int = 0, bin_seconds: int = 60) -> FaultPlan:
+                lead_time: int = 0, bin_seconds: int = 60,
+                offset_bins: int = 0) -> FaultPlan:
     """A named fault plan, parameterised only by seed and timeline origin.
 
     ``lead_time`` anchors the scenario-relative silence window (the
-    replay's first streamed instant, ``spec.lead_bins * MINUTE``).
+    replay's first streamed instant, ``spec.lead_bins * MINUTE``);
+    ``offset_bins`` pushes that window deeper into the stream — a
+    mid-run outage instead of a cold-start one, which is what the
+    health self-assessment smoke needs (the fault must land *after*
+    its detectors' baseline ticks).
     """
+    anchor = lead_time + offset_bins * bin_seconds
     if name == "none":
         return FaultPlan(seed=seed, rules=(), name=name)
     if name == "drop-delay-dup":
@@ -249,11 +255,11 @@ def preset_plan(name: str, seed: int = 0,
         rules = (FaultRule(HISTORY_ERROR, probability=0.6,
                            error_attempts=2),)
     elif name == "agent-silence":
-        # Every server-level agent goes quiet for the first five
-        # collection intervals of the stream, then floods the backlog.
+        # Every server-level agent goes quiet for five collection
+        # intervals (starting at the anchor), then floods the backlog.
         rules = (FaultRule(
             SILENCE,
-            window=(lead_time, lead_time + 5 * bin_seconds),
+            window=(anchor, anchor + 5 * bin_seconds),
             key_glob="server:*"),)
     elif name == "all":
         rules = (
@@ -263,7 +269,7 @@ def preset_plan(name: str, seed: int = 0,
             FaultRule(REORDER, probability=0.06),
             FaultRule(HISTORY_ERROR, probability=0.5, error_attempts=2),
             FaultRule(SILENCE,
-                      window=(lead_time, lead_time + 5 * bin_seconds),
+                      window=(anchor, anchor + 5 * bin_seconds),
                       key_glob="server:*"),
         )
     else:

@@ -29,6 +29,7 @@ import numpy as np
 from ..changes.change import SoftwareChange
 from ..core.funnel import Funnel
 from ..exceptions import TelemetryError
+from ..obs.health import VERDICT_LAG_BUCKETS, VERDICT_LAG_METRIC
 from ..obs.metrics import MetricsRegistry
 from ..telemetry.kpi import KpiKey
 from ..telemetry.timeseries import TimeSeries
@@ -468,6 +469,11 @@ class LiveAssessor:
               verdict: LiveVerdict) -> None:
         tracker.done = True
         session.verdicts += 1
+        self.metrics.histogram(
+            VERDICT_LAG_METRIC,
+            help="Deployment-to-verdict latency in virtual seconds.",
+            buckets=VERDICT_LAG_BUCKETS,
+        ).observe(max(0, now - session.change.at_time))
         self.bus.publish(verdict)
 
     # -- close -----------------------------------------------------------------

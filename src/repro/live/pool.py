@@ -41,6 +41,8 @@ class DetectorPool:
 
     def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
         self.metrics = metrics or MetricsRegistry()
+        self.batches = 0
+        self.series = 0
 
     def score_pending(
         self, detectors: Sequence[IncrementalDetector],
@@ -71,6 +73,8 @@ class DetectorPool:
             scorer = detectors[members[0][0]].scorer
             rows = scorer.scores_batch(
                 stack, lengths=[stack.shape[1]] * len(members))
+            self.batches += 1
+            self.series += len(members)
             self.metrics.counter(
                 POOLED_BATCHES_METRIC,
                 help="Stacked scoring calls issued by the pool.").inc()

@@ -42,6 +42,7 @@ class IngestQueues:
         #: drains, which would silently re-aim a stored index.
         self._last_served: Optional[KpiKey] = None
         self.depth = 0
+        self.peak_depth = 0
         self.shed = 0
 
     # -- producer side --------------------------------------------------------
@@ -70,6 +71,8 @@ class IngestQueues:
             self._count_shed(self.policy)
         queue.append(fragment)
         self.depth += 1
+        if self.depth > self.peak_depth:
+            self.peak_depth = self.depth
         return True
 
     def _count_shed(self, policy: str, n: int = 1) -> None:

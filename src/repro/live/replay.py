@@ -180,8 +180,8 @@ def replay_scenario(spec: Optional[FleetScenarioSpec] = None,
                     checkpoint_path: Optional[str] = None,
                     checkpoint_every: int = 25,
                     resume_from: Optional[str] = None,
-                    kill_after_ticks: Optional[int] = None
-                    ) -> LiveReplayReport:
+                    kill_after_ticks: Optional[int] = None,
+                    health=None) -> LiveReplayReport:
     """Stream ``spec`` through the live pipeline in virtual time.
 
     Args:
@@ -214,6 +214,9 @@ def replay_scenario(spec: Optional[FleetScenarioSpec] = None,
         kill_after_ticks: stop mid-stream after this many ticks without
             shutting the service down — the crash half of the
             kill-and-resume test.
+        health: optional :class:`~repro.obs.health.HealthMonitor` — one
+            heartbeat per tick, finalized at shutdown (a killed run
+            leaves the heartbeat stream truncated, like a real crash).
     """
     if flush_bins < 1:
         raise ValueError("flush_bins must be >= 1")
@@ -290,7 +293,7 @@ def replay_scenario(spec: Optional[FleetScenarioSpec] = None,
     service = LiveAssessmentService(
         store, log, source.fleet, config=config, obs=obs,
         history_provider=history, priority=priority,
-        checkpointer=checkpointer)
+        checkpointer=checkpointer, health=health)
     if faulty:
         store.bind_metrics(service.metrics)
         if isinstance(history, FaultyHistoryProvider):

@@ -23,6 +23,7 @@ and store subscriptions.
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional
 
 from ..obs.metrics import MetricsRegistry
@@ -57,9 +58,13 @@ class EventTimeScheduler:
         #: optional :class:`~repro.live.checkpoint.Checkpointer`; when
         #: attached, a snapshot is taken at the end of qualifying ticks.
         self.checkpointer = None
+        #: optional :class:`~repro.obs.health.HealthMonitor`; when
+        #: attached, one heartbeat record is emitted per tick.
+        self.health = None
 
     def tick(self, now: int) -> List[ChangeSession]:
         """Run one control-loop pass; returns the sessions closed."""
+        started = time.perf_counter() if self.health is not None else 0.0
         self.watcher.poll(now)
         self._note_depth()  # ingest since the last tick
         self._drain(now)
@@ -70,6 +75,9 @@ class EventTimeScheduler:
         self.tick_count += 1
         if self.checkpointer is not None:
             self.checkpointer.on_tick(now, self.tick_count)
+        if self.health is not None:
+            self.health.on_tick(now, self.tick_count,
+                                time.perf_counter() - started)
         return closed
 
     # -- draining --------------------------------------------------------------

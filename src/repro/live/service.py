@@ -37,7 +37,7 @@ class LiveAssessmentService:
                  config: Optional[LiveConfig] = None,
                  obs: Optional[ObsContext] = None,
                  history_provider=None, priority=None,
-                 checkpointer=None) -> None:
+                 checkpointer=None, health=None) -> None:
         self.config = config or LiveConfig()
         self.obs = obs
         self.store = store
@@ -60,6 +60,11 @@ class LiveAssessmentService:
         #: sessions a restored checkpoint had already closed — counted in
         #: :meth:`report` so a resumed run's summary matches end to end.
         self.restored_closed = 0
+        #: optional :class:`~repro.obs.health.HealthMonitor`; attached
+        #: before the checkpointer so a restored run heartbeats too.
+        self.health = health
+        if health is not None:
+            health.attach(self)
         if checkpointer is not None:
             checkpointer.attach(self)
 
@@ -85,6 +90,8 @@ class LiveAssessmentService:
             self._record_change_span(session)
             closed.append(session)
         self.closed.extend(closed)
+        if self.health is not None:
+            self.health.finalize(now)
         return closed
 
     def _record_change_span(self, session: ChangeSession) -> None:
@@ -105,7 +112,7 @@ class LiveAssessmentService:
     def report(self) -> dict:
         """Operator summary: activity, verdicts, shedding, gauges."""
         counters = self.metrics.snapshot()["counters"]
-        return {
+        doc = {
             "active_changes": len(self.watcher.sessions),
             "closed_changes": len(self.closed) + self.restored_closed,
             "verdicts": len(self.bus),
@@ -113,6 +120,9 @@ class LiveAssessmentService:
             "queue_depth": self.scheduler.queue_depth(),
             "peak_queue_depth": self.scheduler.peak_queue_depth,
             "counters": {name: sum(entry["value"]
-                                   for entry in doc["values"])
-                         for name, doc in counters.items()},
+                                   for entry in entries["values"])
+                         for name, entries in counters.items()},
         }
+        if self.health is not None:
+            doc["health"] = self.health.summary()
+        return doc

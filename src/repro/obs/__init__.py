@@ -12,7 +12,11 @@ Four pieces, designed to compose:
   written under ``--obs-dir``, making runs diffable and replayable;
 * :mod:`repro.obs.profile` — the stage profiler behind
   ``repro obs report``: self-vs-child time per stage path, per-detector
-  latency, slowest jobs, and flamegraph ``folded`` export.
+  latency, slowest jobs, and flamegraph ``folded`` export;
+* :mod:`repro.obs.health` — live-service health telemetry: the per-tick
+  heartbeat stream, declarative SLO tracking with multi-window burn
+  alerts, and the FUNNEL-on-FUNNEL self-assessment loop behind
+  ``repro obs health-report``.
 
 The engine threads one :class:`ObsContext` per run through planner,
 executor and reporters; ``repro assess-fleet --obs-dir <d>`` records a
@@ -23,6 +27,11 @@ run and ``repro obs report <d>`` profiles it.  See
 from .artifacts import (RunArtifacts, git_revision, load_run,
                         write_run_artifacts)
 from .context import ObsContext, WorkerTelemetry
+from .health import (DEFAULT_SELF_KPIS, DEFAULT_SLOS, VERDICT_LAG_BUCKETS,
+                     VERDICT_LAG_METRIC, HealthConfig, HealthMonitor,
+                     HeartbeatWriter, SelfAssessor, Slo, SloTracker,
+                     build_health_report, load_heartbeat,
+                     render_health_report)
 from .metrics import (BYTE_BUCKETS, LATENCY_BUCKETS, Counter, Gauge,
                       Histogram, MetricsRegistry)
 from .profile import (PathStats, StageProfile, build_profile, folded_stacks,
@@ -31,10 +40,14 @@ from .tracing import (RemoteContext, Span, SpanRecord, Tracer, new_span_id,
                       new_trace_id)
 
 __all__ = [
-    "BYTE_BUCKETS", "Counter", "Gauge", "Histogram", "LATENCY_BUCKETS",
-    "MetricsRegistry", "ObsContext", "PathStats", "RemoteContext",
-    "RunArtifacts", "Span", "SpanRecord", "StageProfile", "Tracer",
-    "WorkerTelemetry", "build_profile", "folded_stacks", "git_revision",
-    "load_run", "new_span_id", "new_trace_id", "render_table",
+    "BYTE_BUCKETS", "Counter", "DEFAULT_SELF_KPIS", "DEFAULT_SLOS",
+    "Gauge", "HealthConfig", "HealthMonitor", "HeartbeatWriter",
+    "Histogram", "LATENCY_BUCKETS", "MetricsRegistry", "ObsContext",
+    "PathStats", "RemoteContext", "RunArtifacts", "SelfAssessor", "Slo",
+    "SloTracker", "Span", "SpanRecord", "StageProfile", "Tracer",
+    "VERDICT_LAG_BUCKETS", "VERDICT_LAG_METRIC", "WorkerTelemetry",
+    "build_health_report", "build_profile", "folded_stacks",
+    "git_revision", "load_heartbeat", "load_run", "new_span_id",
+    "new_trace_id", "render_health_report", "render_table",
     "write_run_artifacts",
 ]

@@ -129,14 +129,23 @@ class RunArtifacts:
     manifest: dict = field(default_factory=dict)
     spans: List[SpanRecord] = field(default_factory=list)
     metrics: dict = field(default_factory=dict)
+    #: events.jsonl lines that failed to parse (truncated writes).
+    corrupt_lines: int = 0
 
     @property
     def run_id(self) -> str:
-        return str(self.manifest.get("run_id", "unknown"))
+        run_id = self.manifest.get("run_id")
+        return str(run_id) if run_id else "unknown"
 
 
 def load_run(obs_dir: str) -> RunArtifacts:
-    """Read a run directory back (manifest optional, events required)."""
+    """Read a run directory back (manifest optional, events required).
+
+    Resilient to the artifacts a crashed or empty run leaves behind: a
+    truncated final line, a ``metrics: null`` record, or an events file
+    with no spans at all — corrupt lines are counted and skipped, and
+    every section degrades to its empty shape instead of raising.
+    """
     events_path = os.path.join(obs_dir, EVENTS_FILE)
     if not os.path.exists(events_path):
         raise FileNotFoundError(
@@ -145,17 +154,25 @@ def load_run(obs_dir: str) -> RunArtifacts:
     spans: List[SpanRecord] = []
     metrics: dict = {}
     header: dict = {}
+    corrupt = 0
     with open(events_path, "r", encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
             if not line:
                 continue
-            doc = json.loads(line)
+            try:
+                doc = json.loads(line)
+            except ValueError:
+                corrupt += 1
+                continue
+            if not isinstance(doc, dict):
+                corrupt += 1
+                continue
             kind = doc.get("kind")
             if kind == "span":
                 spans.append(SpanRecord.from_dict(doc))
             elif kind == "metrics":
-                metrics = doc.get("metrics", {})
+                metrics = doc.get("metrics") or {}
             elif kind == "run_start":
                 header = doc
 
@@ -167,4 +184,5 @@ def load_run(obs_dir: str) -> RunArtifacts:
     else:
         manifest = {key: header.get(key) for key in
                     ("run_id", "unix_time", "git_rev", "repro_version")}
-    return RunArtifacts(manifest=manifest, spans=spans, metrics=metrics)
+    return RunArtifacts(manifest=manifest, spans=spans, metrics=metrics,
+                        corrupt_lines=corrupt)

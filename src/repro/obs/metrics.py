@@ -155,6 +155,33 @@ class Histogram:
     def total_count(self) -> int:
         return sum(sum(row) for row in self.counts.values())
 
+    def percentile(self, q: float, **labels: str) -> Optional[float]:
+        """Estimate the ``q``-th percentile from the bucket counts.
+
+        Linear interpolation within the bucket holding the target rank:
+        observations inside a bucket are assumed uniform between the
+        previous bound and the bucket's own upper bound (the first
+        bucket interpolates from ``min(0, buckets[0])``).  The estimate
+        is exact at bucket boundaries and never worse than one bucket
+        width off; overflow observations clamp to the top finite bound,
+        which *understates* the tail — pick buckets that cover it.
+        Returns ``None`` when nothing was observed for the label set.
+        """
+        row = self.counts.get(_label_key(labels))
+        total = sum(row) if row else 0
+        if not total:
+            return None
+        rank = (q / 100.0) * total
+        cumulative = 0.0
+        lower = min(0.0, self.buckets[0])
+        for bound, n in zip(self.buckets, row):
+            if n and cumulative + n >= rank:
+                fraction = min(1.0, max(0.0, (rank - cumulative) / n))
+                return lower + (bound - lower) * fraction
+            cumulative += n
+            lower = bound
+        return self.buckets[-1]
+
 
 class MetricsRegistry:
     """Named metrics for one run (or one worker's share of one run)."""
@@ -171,6 +198,10 @@ class MetricsRegistry:
             raise ValueError("metric %r already registered as %s"
                              % (name, metric.kind))
         return metric
+
+    def get(self, name: str) -> Optional[object]:
+        """Peek at a metric without creating it (``None`` if absent)."""
+        return self._metrics.get(name)
 
     def counter(self, name: str, help: str = "") -> Counter:
         return self._get(name, Counter, help=help)

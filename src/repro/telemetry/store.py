@@ -103,6 +103,9 @@ class MetricStore:
         self._columns: Dict[KpiKey, _Column] = {}
         self._views: Dict[KpiKey, TimeSeries] = {}
         self._subscriptions: List[Subscription] = []
+        #: lifetime ingest totals (health telemetry reads the deltas)
+        self.appended_fragments = 0
+        self.appended_bins = 0
 
     # -- writes ---------------------------------------------------------------
 
@@ -129,6 +132,8 @@ class MetricStore:
                     % (key, fragment.start, end)
                 )
             column.extend(fragment.values)
+        self.appended_fragments += 1
+        self.appended_bins += len(fragment)
         self._views.pop(key, None)
         self._push(key, fragment)
 

@@ -189,3 +189,42 @@ class TestObsReportCli:
         assert main(["obs", "report", str(tmp_path / "nope")]) == 1
         err = json.loads(capsys.readouterr().err)
         assert "events.jsonl" in err["error"]
+
+
+class TestDegradedRunArtifacts:
+    """`obs report` on the artifacts a crashed or empty run leaves behind.
+
+    A killed ``--obs-dir`` run can leave an empty ``events.jsonl``, a
+    truncated final line, or a ``metrics: null`` record; the report must
+    degrade to its empty shape instead of raising.
+    """
+
+    def test_empty_events_file_reports_unknown_run(self, tmp_path, capsys):
+        (tmp_path / "events.jsonl").write_text("")
+        assert main(["obs", "report", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("Run unknown\n")
+        assert "0 spans" in out
+
+    def test_truncated_and_null_lines_are_counted(self, tmp_path):
+        lines = [
+            json.dumps({"kind": "run_start", "run_id": "crashed"}),
+            json.dumps({"kind": "metrics", "metrics": None}),
+            '["not", "a", "dict"]',
+            '{"kind": "span", "trunc',          # torn mid-write
+        ]
+        (tmp_path / "events.jsonl").write_text("\n".join(lines) + "\n")
+        run = load_run(str(tmp_path))
+        assert run.corrupt_lines == 2
+        assert run.metrics == {}
+        assert run.spans == []
+        assert run.run_id == "crashed"          # header fallback
+
+    def test_degraded_run_survives_json_mode(self, tmp_path, capsys):
+        (tmp_path / "events.jsonl").write_text(
+            json.dumps({"kind": "metrics", "metrics": None}) + "\n"
+            + "{garbage\n")
+        assert main(["obs", "report", str(tmp_path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["run_id"] == "unknown"
+        assert doc["span_count"] == 0

@@ -1,0 +1,319 @@
+"""Unit tests for the health telemetry layer (repro.obs.health)."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.obs.health import (DEFAULT_SLOS, HeartbeatWriter, SelfAssessor,
+                              Slo, SloTracker, build_health_report,
+                              load_heartbeat, render_health_report)
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+# -- the bounded writer -------------------------------------------------------
+
+class TestHeartbeatWriter:
+    def test_offer_never_touches_disk(self, tmp_path):
+        path = str(tmp_path / "sub" / "hb.jsonl")
+        writer = HeartbeatWriter(path, capacity=4)
+        writer.offer({"tick": 1})
+        assert not os.path.exists(path)
+
+    def test_flush_drains_in_order(self, tmp_path):
+        path = str(tmp_path / "hb.jsonl")
+        writer = HeartbeatWriter(path, capacity=8)
+        for tick in range(5):
+            writer.offer({"tick": tick})
+        assert writer.flush() == 5
+        ticks = [json.loads(line)["tick"] for line in open(path)]
+        assert ticks == [0, 1, 2, 3, 4]
+        assert writer.written == 5
+
+    def test_full_ring_sheds_oldest_and_counts(self, tmp_path):
+        metrics = MetricsRegistry()
+        writer = HeartbeatWriter(str(tmp_path / "hb.jsonl"),
+                                 capacity=3, metrics=metrics)
+        kept = [writer.offer({"tick": tick}) for tick in range(5)]
+        assert kept == [True, True, True, False, False]
+        assert writer.dropped == 2
+        writer.flush()
+        ticks = [json.loads(line)["tick"]
+                 for line in open(writer.path)]
+        # The two oldest records were shed, the freshest survived.
+        assert ticks == [2, 3, 4]
+        dropped = metrics.get(
+            "repro_health_heartbeat_dropped_total")
+        assert dropped is not None and dropped.total() == 2
+
+    def test_close_leaves_a_file_even_when_empty(self, tmp_path):
+        path = str(tmp_path / "hb.jsonl")
+        writer = HeartbeatWriter(path)
+        writer.close()
+        assert os.path.exists(path)
+        assert open(path).read() == ""
+
+
+# -- SLOs ---------------------------------------------------------------------
+
+class TestSlo:
+    def test_direction_operators(self):
+        assert Slo("lag", "lag", "<=", 10.0).good(10.0)
+        assert not Slo("lag", "lag", "<=", 10.0).good(10.5)
+        assert Slo("avail", "avail", ">=", 0.99).good(1.0)
+        assert not Slo("avail", "avail", ">=", 0.99).good(0.5)
+
+    def test_missing_signal_is_not_a_violation(self):
+        assert Slo("lag", "lag", "<=", 10.0).good(None)
+
+    def test_bad_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Slo("lag", "lag", "==", 1.0)
+
+
+class TestSloTracker:
+    def _tracker(self):
+        return SloTracker((Slo("lag", "lag", "<=", 10.0),),
+                          fast_window=3, slow_window=6,
+                          fast_burn=0.5, slow_burn=0.2)
+
+    def test_steady_good_never_fires(self):
+        tracker = self._tracker()
+        for tick in range(20):
+            assert tracker.update(tick, {"lag": 1.0}) == []
+        attainment = tracker.attainment()["lag"]
+        assert attainment["attainment"] == 1.0
+        assert attainment["alerts_fired"] == 0
+
+    def test_one_bad_tick_does_not_page(self):
+        tracker = self._tracker()
+        events = []
+        for tick in range(10):
+            lag = 99.0 if tick == 5 else 1.0
+            events += tracker.update(tick, {"lag": lag})
+        assert events == []
+
+    def test_sustained_burn_fires_then_resolves(self):
+        tracker = self._tracker()
+        events = []
+        for tick in range(20):
+            lag = 99.0 if 5 <= tick < 12 else 1.0
+            events += tracker.update(tick, {"lag": lag})
+        states = [(e["state"], e["slo"]) for e in events]
+        assert ("firing", "lag") in states
+        assert ("resolved", "lag") in states
+        # Exactly one firing/resolved pair for one sustained incident.
+        assert len(events) == 2
+        firing = events[0]
+        assert firing["fast_bad_fraction"] >= 0.5
+        assert firing["slow_bad_fraction"] >= 0.2
+        assert tracker.attainment()["lag"]["alerts_fired"] == 1
+        assert not tracker.attainment()["lag"]["firing"]
+
+    def test_fast_window_must_fill_before_firing(self):
+        tracker = self._tracker()
+        # Two bad ticks of a not-yet-full fast window: no page.
+        assert tracker.update(0, {"lag": 99.0}) == []
+        assert tracker.update(1, {"lag": 99.0}) == []
+
+
+# -- self-assessment ----------------------------------------------------------
+
+class TestSelfAssessor:
+    def test_constant_series_never_declares(self):
+        assessor = SelfAssessor(kpis=("kpi",), baseline_ticks=20, omega=5)
+        for tick in range(120):
+            assert assessor.observe(tick, {"kpi": 7.0}) == []
+        assert assessor.finalize(120) == []
+        assert assessor.detections == []
+
+    def test_step_after_baseline_is_declared(self):
+        assessor = SelfAssessor(kpis=("kpi",), baseline_ticks=20, omega=5)
+        found = []
+        for tick in range(120):
+            value = 7.0 if tick < 60 else 0.0
+            found += assessor.observe(tick, {"kpi": value})
+        found += assessor.finalize(120)
+        assert len(found) == 1
+        record = found[0]
+        assert record["kpi"] == "kpi"
+        assert record["direction"] == -1
+        assert 55 <= record["start_tick"] <= 62
+        assert record["kind"] == "self_detection"
+
+    def test_declares_at_most_once_per_kpi(self):
+        assessor = SelfAssessor(kpis=("kpi",), baseline_ticks=20, omega=5)
+        found = []
+        for tick in range(200):
+            value = 7.0 if tick < 60 or 120 <= tick else 0.0
+            found += assessor.observe(tick, {"kpi": value})
+        found += assessor.finalize(200)
+        assert len(found) == 1
+
+    def test_missing_kpi_reads_as_zero(self):
+        assessor = SelfAssessor(kpis=("kpi",), baseline_ticks=10, omega=5)
+        for tick in range(40):
+            assessor.observe(tick, {})
+        assert assessor.finalize(40) == []
+
+
+# -- histogram percentiles ----------------------------------------------------
+
+class TestHistogramPercentile:
+    def test_empty_is_none(self):
+        hist = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        assert hist.percentile(99) is None
+
+    def test_interpolates_within_bucket(self):
+        hist = Histogram("h", buckets=(10.0, 20.0, 40.0))
+        for _ in range(100):
+            hist.observe(15.0)            # all in the (10, 20] bucket
+        # Every quantile lands inside that bucket's bounds.
+        assert 10.0 <= hist.percentile(1) <= 20.0
+        assert 10.0 <= hist.percentile(50) <= 20.0
+        assert 10.0 <= hist.percentile(99) <= 20.0
+        # p100 is exactly the bucket's upper bound.
+        assert hist.percentile(100) == 20.0
+
+    def test_rank_walks_buckets(self):
+        hist = Histogram("h", buckets=(1.0, 2.0, 3.0))
+        for value in (0.5,) * 50 + (1.5,) * 30 + (2.5,) * 20:
+            hist.observe(value)
+        assert hist.percentile(50) <= 1.0
+        assert 1.0 < hist.percentile(75) <= 2.0
+        assert 2.0 < hist.percentile(95) <= 3.0
+
+    def test_overflow_clamps_to_top_bound(self):
+        hist = Histogram("h", buckets=(1.0, 2.0))
+        for _ in range(10):
+            hist.observe(99.0)
+        assert hist.percentile(99) == 2.0
+
+    def test_labeled_rows_are_independent(self):
+        hist = Histogram("h", buckets=(10.0, 100.0))
+        hist.observe(5.0, shard="a")
+        hist.observe(50.0, shard="b")
+        assert hist.percentile(99, shard="a") <= 10.0
+        assert hist.percentile(99, shard="b") > 10.0
+        assert hist.percentile(99) is None    # unlabeled row is empty
+
+
+class TestRegistryGet:
+    def test_peek_does_not_create(self):
+        metrics = MetricsRegistry()
+        assert metrics.get("nope") is None
+        assert "nope" not in metrics.snapshot()["counters"]
+        metrics.counter("yes").inc()
+        assert metrics.get("yes").total() == 1
+
+
+# -- reading heartbeat streams back -------------------------------------------
+
+def _write_stream(path, records):
+    with open(path, "w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def _beat(tick, **extra):
+    doc = {"kind": "heartbeat", "tick": tick, "verdicts": 1,
+           "shed_fragments": 0, "ingest_fragments": 10,
+           "degraded_verdicts": 0, "watermark_lag_bins": 0,
+           "queue_depth": 0, "shed_ratio": 0.0,
+           "verdict_lag_p99_bins": 5.0}
+    doc.update(extra)
+    return doc
+
+
+class TestLoadHeartbeat:
+    def test_skips_blank_and_corrupt_lines(self, tmp_path):
+        path = str(tmp_path / "hb.jsonl")
+        with open(path, "w") as fh:
+            fh.write(json.dumps(_beat(1)) + "\n")
+            fh.write("\n")
+            fh.write('{"kind": "heartbeat", "tick": 2')  # truncated
+        records = load_heartbeat(path)
+        assert [r["tick"] for r in records] == [1]
+
+
+class TestBuildHealthReport:
+    def test_truncated_stream_recomputes_slos(self, tmp_path):
+        path = str(tmp_path / "hb.jsonl")
+        _write_stream(path, [_beat(t) for t in range(5)])
+        report = build_health_report(load_heartbeat(path))
+        assert not report["final_summary_present"]
+        assert report["ticks"] == 5
+        assert report["totals"]["verdicts"] == 5
+        names = set(report["slos"])
+        assert names == {slo.name for slo in DEFAULT_SLOS}
+
+    def test_prefers_final_summary(self, tmp_path):
+        path = str(tmp_path / "hb.jsonl")
+        _write_stream(path, [_beat(1), {
+            "kind": "health_summary", "ticks": 1,
+            "slos": {"custom": {"objective": "x <= 1",
+                                "attainment": 1.0}},
+            "self_detections": [{"kpi": "k", "declared_tick": 3}],
+            "heartbeat_dropped": 7,
+        }])
+        report = build_health_report(load_heartbeat(path))
+        assert report["final_summary_present"]
+        assert list(report["slos"]) == ["custom"]
+        assert report["self_detections"] == [{"kpi": "k",
+                                              "declared_tick": 3}]
+        assert report["heartbeat_dropped"] == 7
+
+    def test_lag_over_time_is_downsampled(self, tmp_path):
+        path = str(tmp_path / "hb.jsonl")
+        _write_stream(path, [_beat(t) for t in range(500)])
+        report = build_health_report(load_heartbeat(path))
+        points = report["lag_over_time"]
+        assert 2 <= len(points) <= 12
+        assert points[0]["tick"] == 0
+        assert points[-1]["tick"] == 499
+
+    def test_render_is_total(self, tmp_path):
+        path = str(tmp_path / "hb.jsonl")
+        _write_stream(path, [_beat(t) for t in range(3)])
+        text = render_health_report(
+            build_health_report(load_heartbeat(path)))
+        assert "SLO attainment" in text
+        assert "Self-assessment" in text
+
+    def test_empty_stream(self):
+        report = build_health_report([])
+        assert report["ticks"] == 0
+        assert report["self_detections"] == []
+        assert render_health_report(report)
+
+
+# -- the CLI ------------------------------------------------------------------
+
+class TestHealthReportCli:
+    def test_text_and_json_and_export(self, tmp_path, capsys):
+        path = str(tmp_path / "hb.jsonl")
+        _write_stream(path, [_beat(t) for t in range(3)])
+        out = str(tmp_path / "health.json")
+        assert main(["obs", "health-report", path, "--out", out]) == 0
+        assert "SLO attainment" in capsys.readouterr().out
+        exported = json.load(open(out))
+        assert exported["ticks"] == 3
+        assert main(["obs", "health-report", path, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ticks"] == 3
+
+    def test_detection_bounds_gate(self, tmp_path, capsys):
+        path = str(tmp_path / "hb.jsonl")
+        _write_stream(path, [_beat(1), {
+            "kind": "self_detection", "kpi": "k", "tick": 2,
+            "declared_tick": 2, "start_tick": 1, "direction": -1,
+            "score": 9.0}])
+        assert main(["obs", "health-report", path,
+                     "--min-self-detections", "1"]) == 0
+        capsys.readouterr()
+        assert main(["obs", "health-report", path,
+                     "--max-self-detections", "0"]) == 1
+        assert "outside the required bounds" in capsys.readouterr().out
+        assert main(["obs", "health-report", path,
+                     "--min-self-detections", "2"]) == 1

@@ -143,3 +143,68 @@ class TestPrometheusExposition:
 
     def test_empty_registry_exposes_nothing(self):
         assert MetricsRegistry().to_prometheus() == ""
+
+
+class TestLabeledHistogramRoundTrip:
+    """A *labeled* histogram through the worker-snapshot boundary.
+
+    The engine's pool workers ship their registries home as snapshots;
+    labeled histogram rows must fold into the parent losslessly and the
+    merged registry must expose the exact Prometheus text a single
+    process would have produced.
+    """
+
+    GOLDEN = (
+        '# HELP stage_lat Stage latency.\n'
+        '# TYPE stage_lat histogram\n'
+        'stage_lat_bucket{stage="detect",le="0.1"} 2\n'
+        'stage_lat_bucket{stage="detect",le="1"} 5\n'
+        'stage_lat_bucket{stage="detect",le="+Inf"} 6\n'
+        'stage_lat_sum{stage="detect"} 3.61\n'
+        'stage_lat_count{stage="detect"} 6\n'
+        'stage_lat_bucket{stage="fetch",le="0.1"} 1\n'
+        'stage_lat_bucket{stage="fetch",le="1"} 1\n'
+        'stage_lat_bucket{stage="fetch",le="+Inf"} 2\n'
+        'stage_lat_sum{stage="fetch"} 2.05\n'
+        'stage_lat_count{stage="fetch"} 2\n'
+    )
+
+    @staticmethod
+    def _observe(reg, values_by_stage):
+        hist = reg.histogram("stage_lat", help="Stage latency.",
+                             buckets=(0.1, 1.0))
+        for stage, values in values_by_stage.items():
+            for value in values:
+                hist.observe(value, stage=stage)
+
+    def _merged(self):
+        worker_a = MetricsRegistry()
+        self._observe(worker_a, {"detect": (0.05, 0.5, 2.0),
+                                 "fetch": (0.05,)})
+        worker_b = MetricsRegistry()
+        self._observe(worker_b, {"detect": (0.06, 0.5, 0.5),
+                                 "fetch": (2.0,)})
+        parent = MetricsRegistry()
+        parent.merge(worker_a.snapshot())
+        parent.merge(worker_b.snapshot())
+        return parent
+
+    def test_merged_exposition_matches_single_process(self):
+        single = MetricsRegistry()
+        self._observe(single, {"detect": (0.05, 0.5, 2.0, 0.06, 0.5, 0.5),
+                               "fetch": (0.05, 2.0)})
+        merged = self._merged()
+        assert merged.to_prometheus() == single.to_prometheus()
+        assert merged.snapshot() == single.snapshot()
+
+    def test_golden_exposition_text(self):
+        assert self._merged().to_prometheus() == self.GOLDEN
+
+    def test_percentiles_survive_the_merge(self):
+        merged = self._merged()
+        hist = merged.histogram("stage_lat", buckets=(0.1, 1.0))
+        # 6 detect samples: 2 in (<=0.1], 3 in (0.1, 1], 1 overflow.
+        assert hist.percentile(10, stage="detect") <= 0.1
+        assert 0.1 < hist.percentile(60, stage="detect") <= 1.0
+        assert hist.percentile(99, stage="detect") == 1.0  # clamped
+        assert hist.count(stage="fetch") == 2

@@ -12,8 +12,20 @@ round (tiny queues, throttled drain budget) verifies that backpressure
 keeps the peak queue depth bounded while the shed counters account for
 every dropped fragment.
 
+A second round sweeps the **shards axis** of the multi-process cluster
+runtime (:mod:`repro.cluster`) on the 16x fleet and writes
+``benchmarks/BENCH_cluster.json``.  Throughput there is scenario
+fragments over the **critical path** — the slowest shard's CPU seconds
+(``time.process_time``, measured inside each worker) plus the fan-in
+merge — because shards burn CPU concurrently: on a many-core host the
+elapsed wall converges to the critical path, while on a single-core CI
+host the shards timeshare and elapsed stays flat even though the
+per-shard work reduction is real.  Both accountings plus the host's CPU
+count are recorded.
+
 Scale with ``REPRO_BENCH_LIVE_CHANGES`` (changes per scenario, default
-2).  Runnable standalone::
+2) and ``REPRO_BENCH_CLUSTER_CHANGES`` (cluster round, default 4).
+Runnable standalone::
 
     PYTHONPATH=src python benchmarks/bench_live_throughput.py
 """
@@ -21,18 +33,28 @@ Scale with ``REPRO_BENCH_LIVE_CHANGES`` (changes per scenario, default
 import json
 import os
 import pathlib
+import tempfile
 
+from repro.cluster import cluster_replay_scenario
 from repro.engine import FleetScenarioSpec
-from repro.live import parity_live_config, replay_scenario
+from repro.live import ClusterConfig, parity_live_config, replay_scenario
 from repro.live.pool import POOLED_BATCHES_METRIC, POOLED_SERIES_METRIC
 from repro.live.queues import SHED_FRAGMENTS_METRIC
 from repro.obs.metrics import Histogram
 
 OUT_PATH = pathlib.Path(__file__).parent / "BENCH_live.json"
+CLUSTER_OUT_PATH = pathlib.Path(__file__).parent / "BENCH_cluster.json"
 
 BASE_SERVICES = 2
 BASE_SERVERS = 8
 SCALES = (1, 4, 16)
+
+#: Cluster round: shard counts swept on the 16x fleet.
+SHARD_COUNTS = (1, 2, 4)
+CLUSTER_SCALE = 16
+#: 128 virtual nodes spread the 16x fleet's entities evenly enough that
+#: the slowest shard stays close to the mean (the speedup ceiling).
+CLUSTER_RING_REPLICAS = 128
 
 
 def _spec(scale: int) -> FleetScenarioSpec:
@@ -110,6 +132,80 @@ def _measure_overload() -> dict:
     }
 
 
+def _cluster_spec() -> FleetScenarioSpec:
+    n_changes = int(os.environ.get("REPRO_BENCH_CLUSTER_CHANGES", "4"))
+    base = _spec(CLUSTER_SCALE)
+    return FleetScenarioSpec(
+        n_services=base.n_services, n_servers=base.n_servers,
+        n_changes=n_changes, window_bins=base.window_bins,
+        change_offset=base.change_offset,
+        history_days=base.history_days, seed=base.seed)
+
+
+def _measure_cluster(n_shards: int, workdir: str):
+    spec = _cluster_spec()
+    config = parity_live_config(spec, score_chunk_bins=8,
+                                pooled_scoring=True)
+    report = cluster_replay_scenario(
+        spec=spec, live_config=config, flush_bins=4,
+        cluster=ClusterConfig(n_shards=n_shards,
+                              replicas=CLUSTER_RING_REPLICAS),
+        workdir=os.path.join(workdir, "shards-%d" % n_shards))
+    doc = {
+        "shards": n_shards,
+        "services": spec.n_services,
+        "servers": spec.n_servers,
+        "changes": spec.n_changes,
+        "scenario_fragments": report.scenario_fragments,
+        "fragments_streamed": report.fragments_streamed,
+        "verdicts": len(report.verdicts),
+        "shard_cpu_seconds": {key: round(value, 4) for key, value
+                              in sorted(report.shard_cpu_seconds.items())},
+        "critical_path_seconds": round(report.critical_path_seconds, 4),
+        "merge_seconds": round(report.merge_seconds, 4),
+        "elapsed_seconds": round(report.elapsed_seconds, 4),
+        "fragments_per_second": round(report.fragments_per_second, 1),
+        "elapsed_fragments_per_second": round(
+            report.scenario_fragments / report.elapsed_seconds, 1),
+        "restarts": sum(report.restarts.values()),
+        "duplicate_verdicts": report.duplicate_verdicts,
+    }
+    return report, doc
+
+
+def run_cluster_bench() -> dict:
+    workdir = tempfile.mkdtemp(prefix="repro-bench-cluster-")
+    runs, reference, identical = [], None, True
+    for n_shards in SHARD_COUNTS:
+        report, doc = _measure_cluster(n_shards, workdir)
+        if reference is None:
+            reference = report.verdicts
+        else:
+            identical = identical and report.verdicts == reference
+        runs.append(doc)
+    by_shards = {run["shards"]: run for run in runs}
+    out = {
+        "cpus": os.cpu_count() or 1,
+        "scale": CLUSTER_SCALE,
+        "ring_replicas": CLUSTER_RING_REPLICAS,
+        "accounting": "fragments_per_second = scenario_fragments / "
+                      "critical_path_seconds (slowest shard's CPU time "
+                      "+ merge); elapsed_* records the wall clock, "
+                      "which only shows the speedup when cpus >= shards",
+        "runs": runs,
+        "merged_identical": identical,
+        "speedup_4_vs_1": round(
+            by_shards[4]["fragments_per_second"]
+            / by_shards[1]["fragments_per_second"], 3),
+        "elapsed_speedup_4_vs_1": round(
+            by_shards[4]["elapsed_fragments_per_second"]
+            / by_shards[1]["elapsed_fragments_per_second"], 3),
+    }
+    CLUSTER_OUT_PATH.write_text(
+        json.dumps(out, indent=2, sort_keys=True) + "\n")
+    return out
+
+
 def run_bench() -> dict:
     runs = [_measure(scale, pooled=False) for scale in SCALES]
     pooled_runs = [_measure(scale, pooled=True) for scale in SCALES]
@@ -170,5 +266,36 @@ def test_live_throughput(benchmark):
     assert overload["verdicts"] > 0
 
 
+def test_cluster_throughput(benchmark):
+    report = benchmark.pedantic(run_cluster_bench, rounds=1, iterations=1)
+
+    print()
+    print("Cluster replay throughput (16x fleet, critical-path):")
+    for run in report["runs"]:
+        print("  %d shard(s): %9.0f frag/s critical-path "
+              "(%.0f elapsed), crit=%.3fs, verdicts=%d"
+              % (run["shards"], run["fragments_per_second"],
+                 run["elapsed_fragments_per_second"],
+                 run["critical_path_seconds"], run["verdicts"]))
+    print("  speedup 4 vs 1: %.2fx critical-path, %.2fx elapsed "
+          "(on %d cpu(s))"
+          % (report["speedup_4_vs_1"],
+             report["elapsed_speedup_4_vs_1"], report["cpus"]))
+
+    # The contract: identical merged verdicts at every shard count,
+    # no restarts or duplicates in a clean run.
+    assert report["merged_identical"]
+    first = report["runs"][0]
+    for run in report["runs"]:
+        assert run["verdicts"] == first["verdicts"] > 0
+        assert run["restarts"] == 0
+        assert run["duplicate_verdicts"] == 0
+        assert run["fragments_streamed"] >= run["scenario_fragments"]
+    # Sharding must genuinely cut the critical path (the committed
+    # BENCH_cluster.json shows > 2.5x; 2.0 is the noise-tolerant floor).
+    assert report["speedup_4_vs_1"] >= 2.0
+
+
 if __name__ == "__main__":
     print(json.dumps(run_bench(), indent=2, sort_keys=True))
+    print(json.dumps(run_cluster_bench(), indent=2, sort_keys=True))

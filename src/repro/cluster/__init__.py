@@ -1,0 +1,34 @@
+"""repro.cluster — sharded multi-process live assessment.
+
+The paper's deployment spreads the fleet's KPIs across many machines;
+this package reproduces that shape on one box: the fleet is partitioned
+across N worker processes by consistent hashing on entity name
+(:mod:`~repro.cluster.routing`), each worker runs a full
+:class:`~repro.live.service.LiveAssessmentService` over its shard-local
+store slice (:mod:`~repro.cluster.worker`), a supervisor heartbeats the
+workers and restarts crashed or hung shards from their latest
+checkpoint (:mod:`~repro.cluster.supervisor`), and the per-shard
+verdict streams fan back into one deterministic global order
+(:mod:`~repro.cluster.merge`) — byte-identical to the single-process
+``live-replay`` output, even after a shard was killed and recovered
+mid-run.
+
+``repro cluster-replay --shards 4`` drives the whole thing; see
+``docs/live.md`` ("Scaling out") and ``docs/architecture.md``.
+"""
+
+from ..live.config import ClusterConfig
+from .merge import ClusterVerdictBus, merge_reports, write_merged
+from .replay import ClusterReplayReport, cluster_replay_scenario
+from .routing import HashRing, ShardPlan, control_keys, plan_shards
+from .supervisor import ShardState, ShardSupervisor, resolve_start_method
+from .worker import ShardTask, run_shard
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterVerdictBus", "merge_reports", "write_merged",
+    "ClusterReplayReport", "cluster_replay_scenario",
+    "HashRing", "ShardPlan", "control_keys", "plan_shards",
+    "ShardState", "ShardSupervisor", "resolve_start_method",
+    "ShardTask", "run_shard",
+]

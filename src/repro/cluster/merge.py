@@ -1,0 +1,115 @@
+"""Fan-in: deterministic global order out of per-shard verdict streams.
+
+Workers emit verdicts in shard-local order; the merged output must be
+**byte-identical** to the single-process ``live-replay`` file no matter
+how the fleet was partitioned or how many crash/restart cycles
+happened.  Two facts make that possible:
+
+* verdict keys are unique (the per-shard bus is at-most-once and
+  ownership routing assesses each (change, entity, KPI) on exactly one
+  shard), so :func:`~repro.live.bus.verdict_sort_key` — virtual
+  emission tick, then key — is a *total* order: sorting any partition
+  of the same verdict set gives the same sequence;
+* each shard's final attempt carries its complete bus verdict list (a
+  resumed run re-emits post-checkpoint verdicts bit-identically), so
+  the merge never depends on what a crashed attempt managed to flush —
+  earlier attempts' files are folded in only to exercise the
+  at-most-once dedup, whose duplicate count is surfaced, not hidden.
+
+:class:`ClusterVerdictBus` collects, sorts, and republishes through a
+fresh :class:`~repro.live.bus.VerdictBus` (dedup lives in one place);
+:func:`merge_reports` builds the operator summary with counters summed
+and gauges kept **per shard plus a max** — a cluster's peak queue depth
+is the worst shard's peak, not the sum of sixteen peaks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..live.bus import (JsonlVerdictSink, LiveVerdict, VerdictBus,
+                        verdict_sort_key)
+from ..obs.metrics import MetricsRegistry
+
+__all__ = ["ClusterVerdictBus", "write_merged", "merge_reports"]
+
+#: Gauge-like per-shard report fields that must never be summed.
+_PEAK_FIELDS = ("queue_depth", "peak_queue_depth")
+#: Count-like per-shard report fields that add up meaningfully.
+_SUM_FIELDS = ("verdicts", "closed_changes", "active_changes")
+
+
+class ClusterVerdictBus:
+    """Collects per-shard verdicts, re-establishes the global order."""
+
+    def __init__(self) -> None:
+        # A private registry: the fan-in republish must not double-count
+        # verdicts in the merged run metrics (shards already counted
+        # their own publishes).
+        self.bus = VerdictBus(MetricsRegistry())
+        self.collected: List[LiveVerdict] = []
+        self.duplicates = 0
+
+    def collect(self, verdicts: Iterable[LiveVerdict]) -> None:
+        self.collected.extend(verdicts)
+
+    def merge(self) -> List[LiveVerdict]:
+        """Sort everything collected and publish once per key."""
+        for verdict in sorted(self.collected, key=verdict_sort_key):
+            if not self.bus.publish(verdict):
+                self.duplicates += 1
+        return list(self.bus.verdicts)
+
+    def __len__(self) -> int:
+        return len(self.bus.verdicts)
+
+
+def write_merged(path: str, verdicts: Iterable[LiveVerdict]) -> int:
+    """Write merged verdicts in the exact single-process sink format."""
+    written = 0
+    with JsonlVerdictSink(path) as sink:
+        for verdict in verdicts:
+            sink(verdict)
+            written += 1
+    return written
+
+
+def merge_reports(shard_reports: Dict[int, dict],
+                  restarts: Optional[Dict[int, int]] = None,
+                  duplicates: int = 0) -> dict:
+    """Fold per-shard service reports into one cluster-level summary.
+
+    Counters are summed; gauge-like fields (queue depths) are reported
+    per shard alongside their maximum, never silently summed.  The full
+    per-shard reports ride along under ``"shards"`` so nothing the
+    single-process report exposed is lost.
+    """
+    merged: dict = {
+        "n_shards": len(shard_reports),
+        "restarts": dict(sorted((restarts or {}).items())),
+        "duplicate_verdicts": duplicates,
+        "shards": {str(shard): report
+                   for shard, report in sorted(shard_reports.items())},
+    }
+    for name in _SUM_FIELDS:
+        merged[name] = sum(report.get(name, 0)
+                           for report in shard_reports.values())
+    for name in _PEAK_FIELDS:
+        per_shard = {str(shard): report.get(name, 0)
+                     for shard, report in sorted(shard_reports.items())}
+        merged[name] = {
+            "max": max(per_shard.values()) if per_shard else 0,
+            "per_shard": per_shard,
+        }
+    shed: List[str] = []
+    for _, report in sorted(shard_reports.items()):
+        shed.extend(change_id for change_id
+                    in report.get("shed_change_ids", ())
+                    if change_id not in shed)
+    merged["shed_change_ids"] = shed
+    counters: Dict[str, float] = {}
+    for report in shard_reports.values():
+        for name, value in report.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+    merged["counters"] = dict(sorted(counters.items()))
+    return merged

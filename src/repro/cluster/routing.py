@@ -1,0 +1,146 @@
+"""Consistent-hash routing of the fleet across worker shards.
+
+The paper's deployment assesses millions of KPIs by partitioning them
+across machines; here the partition key is the **entity name** (the
+``repro.topology.naming`` hierarchy's server/instance/service names).
+A :class:`HashRing` places ``replicas`` virtual nodes per shard on a
+64-bit ring and routes each entity to the shard owning the first point
+at or after the entity's hash.  Both hashes go through
+:func:`hashlib.blake2b` — the same stable coin :mod:`repro.faults.plan`
+uses — so routing is identical across Python processes and platforms
+(``hash()`` randomisation never applies), and adding or removing one
+shard moves only ~1/N of the entities (the classic consistent-hashing
+property, pinned by ``tests/cluster/test_routing.py``).
+
+:func:`plan_shards` turns a scenario into per-shard work orders: which
+changes a shard assesses (every shard owning at least one monitored
+entity of the change), which KPI keys it streams (its owned slice of
+the fleet plus the control keys its changes' DiD panels need), and the
+ownership predicate that gates tracker creation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from ..engine.fleet import SyntheticFleetSource
+from ..engine.planner import ENTITY_METRICS
+from ..exceptions import ParameterError
+from ..live.replay import fleet_kpi_keys
+from ..telemetry.kpi import KpiKey
+from ..topology.impact import identify_impact_set
+
+__all__ = ["HashRing", "ShardPlan", "plan_shards", "control_keys"]
+
+
+def _hash64(token: str) -> int:
+    """Stable 64-bit hash (blake2b, like the fault plan's coin)."""
+    digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """A consistent-hash ring with virtual nodes.
+
+    ``owner(name)`` is a pure function of ``(n_shards, replicas, name)``
+    — no process state, no randomisation — so every worker can rebuild
+    the identical routing table from two integers.
+    """
+
+    def __init__(self, n_shards: int, replicas: int = 64) -> None:
+        if n_shards < 1:
+            raise ParameterError("n_shards must be >= 1")
+        if replicas < 1:
+            raise ParameterError("replicas must be >= 1")
+        self.n_shards = n_shards
+        self.replicas = replicas
+        points: List[Tuple[int, int]] = []
+        for shard in range(n_shards):
+            for replica in range(replicas):
+                points.append((_hash64("vnode|%d|%d" % (shard, replica)),
+                               shard))
+        points.sort()
+        self._points = points
+        self._hashes = [point for point, _ in points]
+
+    def owner(self, name: str) -> int:
+        """The shard owning entity ``name``."""
+        if self.n_shards == 1:
+            return 0
+        position = _hash64("entity|" + name)
+        index = bisect_right(self._hashes, position) % len(self._points)
+        return self._points[index][1]
+
+
+def control_keys(impact, max_control_units: int) -> List[KpiKey]:
+    """The control-panel KPIs one change's DiD needs — exactly the
+    groups :meth:`repro.live.watcher.ChangeWatcher._admit` builds."""
+    keys: List[KpiKey] = []
+    if not impact.dark_launched:
+        return keys
+    for entity_type, peers in (
+            ("server", impact.control_hostnames),
+            ("instance", tuple(i.name for i in impact.cinstances))):
+        peers = peers[:max_control_units]
+        for metric in ENTITY_METRICS.get(entity_type, ()):
+            keys.extend(KpiKey(entity_type, peer, metric) for peer in peers)
+    return keys
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """One shard's work order, derived deterministically from the spec.
+
+    Attributes:
+        shard_id: this shard's index in ``[0, n_shards)``.
+        n_shards: ring size (the worker rebuilds the same ring).
+        replicas: virtual nodes per shard on the ring.
+        change_ids: changes this shard assesses — those with at least
+            one monitored entity the ring routes here.  Trackers for a
+            spanning change are split across its owning shards, so each
+            (change, entity, KPI) verdict is produced exactly once.
+        keys: the KPI streams this shard ingests, in fleet order: every
+            fleet key whose entity it owns, plus the control keys its
+            changes need (control panels are replicated to each owning
+            shard so per-key DiD matches the single-process run).
+    """
+
+    shard_id: int
+    n_shards: int
+    replicas: int
+    change_ids: Tuple[str, ...]
+    keys: Tuple[KpiKey, ...]
+
+
+def plan_shards(source: SyntheticFleetSource, n_shards: int,
+                replicas: int = 64,
+                max_control_units: int = 8) -> List[ShardPlan]:
+    """Route a scenario's fleet streams and changes across ``n_shards``."""
+    ring = HashRing(n_shards, replicas=replicas)
+    all_keys = fleet_kpi_keys(source)
+
+    assessed: Dict[int, List[str]] = {k: [] for k in range(n_shards)}
+    extra: Dict[int, Set[KpiKey]] = {k: set() for k in range(n_shards)}
+    for change in source.changes:
+        impact = identify_impact_set(source.fleet, change.service,
+                                     change.hostnames)
+        owners = sorted({ring.owner(entity) for _, entity
+                         in impact.monitored_entities()})
+        panel = control_keys(impact, max_control_units)
+        for shard in owners:
+            assessed[shard].append(change.change_id)
+            extra[shard].update(panel)
+
+    plans = []
+    for shard in range(n_shards):
+        keys = tuple(key for key in all_keys
+                     if ring.owner(key.entity) == shard
+                     or key in extra[shard])
+        plans.append(ShardPlan(shard_id=shard, n_shards=n_shards,
+                               replicas=replicas,
+                               change_ids=tuple(assessed[shard]),
+                               keys=keys))
+    return plans

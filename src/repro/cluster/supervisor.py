@@ -1,0 +1,206 @@
+"""Shard supervision: process lifecycle, heartbeats, crash recovery.
+
+The :class:`ShardSupervisor` owns the child processes of one cluster
+replay.  Each worker heartbeats once per virtual tick over a shared
+``multiprocessing.Queue``; the supervisor's poll loop drains the queue
+and watches for two failure shapes:
+
+* **crash** — the process died without writing its result file (a real
+  worker death, or ``kill_after_ticks`` simulating one);
+* **hang** — the process is alive but its last heartbeat is older than
+  :attr:`~repro.live.config.ClusterConfig.heartbeat_timeout_seconds`
+  (simulated by ``hang_at_tick``); the supervisor terminates it.
+
+Either way the shard restarts from its latest
+:mod:`repro.live.checkpoint` (or from scratch when it died before the
+first one), replaying only that shard's backlog.  Because checkpoint
+resume is bit-identical, the merged cluster output is unchanged by any
+number of crash/restart cycles — the property
+``tests/cluster/test_cluster_replay.py`` pins.  A shard that exceeds
+:attr:`~repro.live.config.ClusterConfig.max_restarts` raises
+:class:`~repro.exceptions.ClusterError`.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import queue as queue_module
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..exceptions import ClusterError
+from ..live.config import ClusterConfig
+from .worker import DONE_MSG, FAILED_MSG, HEARTBEAT_MSG, ShardTask, shard_entry
+
+__all__ = ["ShardSupervisor", "ShardState", "resolve_start_method"]
+
+
+def resolve_start_method(method: str) -> str:
+    """Map the config's ``"auto"`` to a concrete start method.
+
+    Fork is preferred where available (no pickling of the task graph,
+    instant start); spawn is the fallback on platforms without it.
+    """
+    if method != "auto":
+        return method
+    if "fork" in multiprocessing.get_all_start_methods():
+        return "fork"
+    return "spawn"
+
+
+@dataclass
+class ShardState:
+    """The supervisor's book-keeping for one shard."""
+
+    shard_id: int
+    attempt: int = 0
+    restarts: int = 0
+    done: bool = False
+    process: Optional[multiprocessing.process.BaseProcess] = None
+    last_heartbeat: float = 0.0
+    last_tick: int = 0
+    attempt_started: float = 0.0
+    #: Parent-side wall seconds burned by attempts that crashed or hung
+    #: (their ``cpu_seconds`` died with them); an upper bound used in
+    #: the cluster report's critical-path accounting.
+    lost_seconds: float = 0.0
+    #: ``(attempt, verdicts_path)`` for every attempt, in order.
+    verdict_files: List[tuple] = field(default_factory=list)
+    result_path: str = ""
+    checkpoint_path: str = ""
+    result: Optional[dict] = None
+    failure: Optional[str] = None
+
+
+class ShardSupervisor:
+    """Run ``n_shards`` workers to completion, restarting the fallen.
+
+    ``task_factory(shard_id, attempt, resume_from)`` builds the
+    :class:`~repro.cluster.worker.ShardTask` for one attempt; the
+    factory owns path naming and is expected to apply fault knobs
+    (``kill_after_ticks`` / ``hang_at_tick``) only to attempt 0, so a
+    restarted shard runs clean.
+    """
+
+    def __init__(self, n_shards: int,
+                 task_factory: Callable[[int, int, Optional[str]], ShardTask],
+                 config: Optional[ClusterConfig] = None) -> None:
+        self.n_shards = n_shards
+        self.task_factory = task_factory
+        self.config = config if config is not None else ClusterConfig()
+        self.start_method = resolve_start_method(self.config.start_method)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def run(self) -> Dict[int, ShardState]:
+        """Supervise all shards to completion; returns final states."""
+        context = multiprocessing.get_context(self.start_method)
+        heartbeats = context.Queue()
+        states = {shard: ShardState(shard) for shard in range(self.n_shards)}
+        for state in states.values():
+            self._launch(state, heartbeats, context, resume_from=None)
+        try:
+            while not all(state.done for state in states.values()):
+                self._drain(heartbeats, states)
+                now = time.monotonic()
+                for state in states.values():
+                    if state.done:
+                        continue
+                    self._check(state, heartbeats, context, now)
+        finally:
+            for state in states.values():
+                process = state.process
+                if process is not None and process.is_alive():
+                    process.terminate()
+                if process is not None:
+                    process.join(timeout=5.0)
+                state.process = None
+        return states
+
+    def _launch(self, state: ShardState, heartbeats, context,
+                resume_from: Optional[str]) -> None:
+        task = self.task_factory(state.shard_id, state.attempt, resume_from)
+        state.result_path = task.result_path
+        state.checkpoint_path = task.checkpoint_path or ""
+        state.verdict_files.append((state.attempt, task.verdicts_path))
+        process = context.Process(
+            target=shard_entry, args=(task, heartbeats),
+            name="repro-shard-%d-a%d" % (state.shard_id, state.attempt),
+            daemon=True)
+        process.start()
+        state.process = process
+        state.attempt_started = time.monotonic()
+        state.last_heartbeat = state.attempt_started
+
+    def _drain(self, heartbeats, states: Dict[int, ShardState]) -> None:
+        deadline = time.monotonic() + self.config.poll_interval_seconds
+        while True:
+            timeout = deadline - time.monotonic()
+            try:
+                message = heartbeats.get(timeout=max(timeout, 0.0))
+            except queue_module.Empty:
+                return
+            kind, shard_id, attempt = message[0], message[1], message[2]
+            state = states[shard_id]
+            if attempt != state.attempt:
+                continue  # stale message from a terminated attempt
+            if kind == HEARTBEAT_MSG:
+                state.last_heartbeat = time.monotonic()
+                state.last_tick = message[3]
+            elif kind == DONE_MSG:
+                self._finish(state)
+            elif kind == FAILED_MSG:
+                state.failure = message[3]
+
+    def _check(self, state: ShardState, heartbeats, context,
+               now: float) -> None:
+        process = state.process
+        if process is None:
+            return
+        if not process.is_alive():
+            process.join()
+            # The result file is written atomically *before* the DONE
+            # message, so a dead process with a result simply finished
+            # before we drained its message.
+            if os.path.exists(state.result_path):
+                self._finish(state)
+                return
+            self._restart(state, heartbeats, context,
+                          why=state.failure or
+                          "exited with code %s" % process.exitcode)
+        elif now - state.last_heartbeat > self.config.heartbeat_timeout_seconds:
+            process.terminate()
+            process.join(timeout=5.0)
+            self._restart(state, heartbeats, context,
+                          why="heartbeat older than %.1fs (hung at tick %d)"
+                          % (self.config.heartbeat_timeout_seconds,
+                             state.last_tick))
+
+    def _finish(self, state: ShardState) -> None:
+        if state.done:
+            return
+        with open(state.result_path, encoding="utf-8") as fh:
+            state.result = json.load(fh)
+        state.done = True
+        process = state.process
+        if process is not None:
+            process.join(timeout=5.0)
+            state.process = None
+
+    def _restart(self, state: ShardState, heartbeats, context,
+                 why: str) -> None:
+        state.lost_seconds += time.monotonic() - state.attempt_started
+        if state.restarts >= self.config.max_restarts:
+            raise ClusterError(
+                "shard %d failed %d times (last: %s); restart budget "
+                "of %d exhausted" % (state.shard_id, state.restarts + 1,
+                                     why, self.config.max_restarts))
+        state.restarts += 1
+        state.attempt += 1
+        resume_from = (state.checkpoint_path
+                       if state.checkpoint_path
+                       and os.path.exists(state.checkpoint_path) else None)
+        self._launch(state, heartbeats, context, resume_from=resume_from)

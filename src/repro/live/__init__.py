@@ -17,10 +17,11 @@ against ``repro assess-fleet`` — see ``docs/live.md``.
 """
 
 from .assessor import ChangeSession, KpiTracker, LiveAssessor
-from .bus import JsonlVerdictSink, LiveVerdict, VerdictBus
+from .bus import (JsonlVerdictSink, LiveVerdict, VerdictBus, read_verdicts,
+                  verdict_sort_key)
 from .checkpoint import (Checkpointer, load_checkpoint, restore_service,
                          snapshot_service, write_checkpoint)
-from .config import DROP_NEWEST, DROP_OLDEST, LiveConfig
+from .config import DROP_NEWEST, DROP_OLDEST, ClusterConfig, LiveConfig
 from .detector import IncrementalDetector
 from .pool import DetectorPool
 from .queues import IngestQueues
@@ -34,9 +35,10 @@ from .watcher import ChangeWatcher, StoreHistoryProvider, default_priority
 __all__ = [
     "ChangeSession", "KpiTracker", "LiveAssessor",
     "JsonlVerdictSink", "LiveVerdict", "VerdictBus",
+    "read_verdicts", "verdict_sort_key",
     "Checkpointer", "load_checkpoint", "restore_service",
     "snapshot_service", "write_checkpoint",
-    "DROP_NEWEST", "DROP_OLDEST", "LiveConfig",
+    "DROP_NEWEST", "DROP_OLDEST", "ClusterConfig", "LiveConfig",
     "DetectorPool", "IncrementalDetector", "IngestQueues",
     "LiveReplayReport", "fleet_kpi_keys", "offline_verdict_records",
     "parity_live_config", "replay_scenario",

@@ -5,6 +5,14 @@ Every closed (change, entity, KPI) item produces exactly one
 or degraded (``gap``).  The bus deduplicates on the item key, fans each
 verdict out to its subscribers once, and counts what it saw; the JSONL
 sink is the durable tap the CLI and CI artifacts use.
+
+The serialized form is a *contract*: ``LiveVerdict.as_dict`` field
+names/types and the sink's ``json.dumps(..., sort_keys=True)`` line
+format are what the cluster fan-in (:mod:`repro.cluster`) byte-compares
+across process boundaries, so both are pinned by golden tests.  The
+sink is line-buffered and fsyncs on close, so a killed shard leaves a
+readable verdict file truncated by at most one torn final line — which
+:func:`read_verdicts` tolerates.
 """
 
 from __future__ import annotations
@@ -14,9 +22,11 @@ import os
 from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, List, Optional, TextIO, Tuple
 
+from ..exceptions import TelemetryError
 from ..obs.metrics import MetricsRegistry
 
-__all__ = ["LiveVerdict", "VerdictBus", "JsonlVerdictSink"]
+__all__ = ["LiveVerdict", "VerdictBus", "JsonlVerdictSink",
+           "read_verdicts", "verdict_sort_key"]
 
 VERDICTS_METRIC = "repro_live_verdicts_total"
 DUPLICATES_METRIC = "repro_live_duplicate_verdicts_total"
@@ -64,6 +74,24 @@ class LiveVerdict:
         doc["notes"] = list(self.notes)
         return doc
 
+    @classmethod
+    def from_dict(cls, doc: dict) -> "LiveVerdict":
+        """Inverse of :meth:`as_dict` (checkpoints, shard verdict files)."""
+        doc = dict(doc)
+        doc["notes"] = tuple(doc.get("notes", ()))
+        return cls(**doc)
+
+
+def verdict_sort_key(verdict: LiveVerdict) -> tuple:
+    """The deterministic global order the cluster fan-in re-establishes.
+
+    Virtual emission time first, then the verdict key.  Keys are unique
+    (the bus is at-most-once), so this is a total order: sorting any
+    partition of the same verdict set yields the same sequence.
+    """
+    return (verdict.emitted_at, verdict.change_id, verdict.entity_type,
+            verdict.entity, verdict.metric)
+
 
 class VerdictBus:
     """Fan-out with at-most-once delivery per (change, entity, KPI).
@@ -106,15 +134,24 @@ class VerdictBus:
 
 
 class JsonlVerdictSink:
-    """Bus subscriber writing one JSON object per verdict line."""
+    """Bus subscriber writing one JSON object per verdict line.
 
-    def __init__(self, path: str) -> None:
+    Opened line-buffered: every verdict reaches the OS as soon as its
+    line is complete, so a crashed process leaves at most one torn
+    final line behind.  :meth:`close` flushes and fsyncs (durability at
+    shutdown) and is idempotent — ``__exit__`` after an explicit
+    ``close()`` is a no-op, as is a write after close.
+    """
+
+    def __init__(self, path: str, fsync_on_close: bool = True) -> None:
         self.path = path
+        self.fsync_on_close = fsync_on_close
         self.written = 0
         parent = os.path.dirname(path)
         if parent:
             os.makedirs(parent, exist_ok=True)
-        self._fh: Optional[TextIO] = open(path, "w", encoding="utf-8")
+        self._fh: Optional[TextIO] = open(path, "w", encoding="utf-8",
+                                          buffering=1)
 
     def __call__(self, verdict: LiveVerdict) -> None:
         if self._fh is None:
@@ -124,6 +161,9 @@ class JsonlVerdictSink:
 
     def close(self) -> None:
         if self._fh is not None:
+            self._fh.flush()
+            if self.fsync_on_close:
+                os.fsync(self._fh.fileno())
             self._fh.close()
             self._fh = None
 
@@ -132,3 +172,30 @@ class JsonlVerdictSink:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+def read_verdicts(path: str,
+                  tolerate_torn_tail: bool = True) -> List[LiveVerdict]:
+    """Read a verdict JSONL file back into :class:`LiveVerdict` objects.
+
+    A killed writer leaves at most one unterminated final line; with
+    ``tolerate_torn_tail`` (the default) that tail is skipped rather
+    than fatal.  A corrupt line anywhere *else* raises — that is real
+    damage, not a crash artifact.
+    """
+    with open(path, encoding="utf-8") as fh:
+        lines = fh.read().split("\n")
+    verdicts: List[LiveVerdict] = []
+    last = len(lines) - 1
+    for index, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            doc = json.loads(line)
+        except ValueError:
+            if tolerate_torn_tail and index == last:
+                break
+            raise TelemetryError(
+                "verdict file %s is corrupt at line %d" % (path, index + 1))
+        verdicts.append(LiveVerdict.from_dict(doc))
+    return verdicts

@@ -274,9 +274,7 @@ def restore_service(service, checkpoint: dict) -> None:
     service.restored_closed = checkpoint.get("service", {}).get(
         "closed_changes", 0)
     for doc in checkpoint.get("bus", {}).get("verdicts", ()):
-        doc = dict(doc)
-        doc["notes"] = tuple(doc.get("notes", ()))
-        verdict = LiveVerdict(**doc)
+        verdict = LiveVerdict.from_dict(doc)
         service.bus.verdicts.append(verdict)
         service.bus._seen[verdict.key] = True
     for record in checkpoint["sessions"]:

@@ -181,7 +181,13 @@ def replay_scenario(spec: Optional[FleetScenarioSpec] = None,
                     checkpoint_every: int = 25,
                     resume_from: Optional[str] = None,
                     kill_after_ticks: Optional[int] = None,
-                    health=None) -> LiveReplayReport:
+                    health=None,
+                    keys: Optional[List[KpiKey]] = None,
+                    change_ids=None,
+                    tracker_filter=None,
+                    tick_callback=None,
+                    checkpoint_extra: Optional[dict] = None,
+                    shard_id: Optional[int] = None) -> LiveReplayReport:
     """Stream ``spec`` through the live pipeline in virtual time.
 
     Args:
@@ -217,6 +223,19 @@ def replay_scenario(spec: Optional[FleetScenarioSpec] = None,
         health: optional :class:`~repro.obs.health.HealthMonitor` — one
             heartbeat per tick, finalized at shutdown (a killed run
             leaves the heartbeat stream truncated, like a real crash).
+        keys: stream only these KPIs instead of the whole fleet's — a
+            cluster shard streams its hash-ring slice plus the control
+            keys its changes need.  The tick cadence is unchanged, so
+            shard replays stay tick-aligned with the full one.
+        change_ids: record only these changes into the change log (a
+            shard assesses the changes whose impact set it owns).
+        tracker_filter: optional ``(entity_type, entity) -> bool`` gate
+            on tracker creation, forwarded to the watcher.
+        tick_callback: called as ``tick_callback(tick, now)`` after
+            every completed tick — the shard worker's heartbeat hook.
+        checkpoint_extra: extra identity fields stamped into (and
+            validated against) the checkpoint meta, e.g. the shard id.
+        shard_id: stamps the service's reports/heartbeats (cluster).
     """
     if flush_bins < 1:
         raise ValueError("flush_bins must be >= 1")
@@ -225,7 +244,10 @@ def replay_scenario(spec: Optional[FleetScenarioSpec] = None,
     config = live_config or parity_live_config(spec)
 
     log = ChangeLog()
+    routed = None if change_ids is None else set(change_ids)
     for change in source.changes:
+        if routed is not None and change.change_id not in routed:
+            continue
         log.record(change)
 
     faulty = fault_plan is not None
@@ -236,7 +258,7 @@ def replay_scenario(spec: Optional[FleetScenarioSpec] = None,
         if fault_plan.has_history_faults():
             history = FaultyHistoryProvider(source.history, fault_plan)
 
-    keys = fleet_kpi_keys(source)
+    keys = list(keys) if keys is not None else fleet_kpi_keys(source)
     arrays = {key: source.observed_series(key.entity_type, key.entity,
                                           key.metric) for key in keys}
     at_time: Dict[str, int] = {c.change_id: c.at_time
@@ -245,6 +267,8 @@ def replay_scenario(spec: Optional[FleetScenarioSpec] = None,
     plan_doc = fault_plan.describe() if faulty else None
     static_extra = {"spec": asdict(spec), "flush_bins": flush_bins,
                     "fault_plan": plan_doc}
+    if checkpoint_extra:
+        static_extra.update(checkpoint_extra)
 
     report = LiveReplayReport()
     report.fault_plan = plan_doc
@@ -255,7 +279,7 @@ def replay_scenario(spec: Optional[FleetScenarioSpec] = None,
     if resume_from is not None:
         checkpoint_doc = load_checkpoint(resume_from)
         extra = checkpoint_doc["meta"].get("extra", {})
-        for name in ("spec", "flush_bins", "fault_plan"):
+        for name in static_extra:
             if extra.get(name) != static_extra[name]:
                 raise CheckpointError(
                     "checkpoint %s was written under a different %s"
@@ -293,7 +317,8 @@ def replay_scenario(spec: Optional[FleetScenarioSpec] = None,
     service = LiveAssessmentService(
         store, log, source.fleet, config=config, obs=obs,
         history_provider=history, priority=priority,
-        checkpointer=checkpointer, health=health)
+        checkpointer=checkpointer, health=health,
+        shard_id=shard_id, tracker_filter=tracker_filter)
     if faulty:
         store.bind_metrics(service.metrics)
         if isinstance(history, FaultyHistoryProvider):
@@ -320,6 +345,8 @@ def replay_scenario(spec: Optional[FleetScenarioSpec] = None,
                 checkpointer.extra["offset"] = offset
             service.on_tick(now)
             report.ticks += 1
+            if tick_callback is not None:
+                tick_callback(report.ticks, now)
             if (kill_after_ticks is not None
                     and report.ticks >= kill_after_ticks
                     and offset < stream_bins):

@@ -37,10 +37,17 @@ class LiveAssessmentService:
                  config: Optional[LiveConfig] = None,
                  obs: Optional[ObsContext] = None,
                  history_provider=None, priority=None,
-                 checkpointer=None, health=None) -> None:
+                 checkpointer=None, health=None,
+                 shard_id: Optional[int] = None,
+                 tracker_filter=None) -> None:
         self.config = config or LiveConfig()
         self.obs = obs
         self.store = store
+        #: set when this service is one shard of a :mod:`repro.cluster`
+        #: run — stamped into :meth:`report` and every health heartbeat
+        #: so merged operator views stay namespaced per shard instead of
+        #: silently summing per-process gauges.
+        self.shard_id = shard_id
         if obs is not None and obs.enabled:
             self.metrics = obs.metrics
         else:
@@ -53,7 +60,8 @@ class LiveAssessmentService:
                                      store=store)
         self.watcher = ChangeWatcher(log, fleet, store, self.assessor,
                                      self.config, self.metrics,
-                                     priority=priority)
+                                     priority=priority,
+                                     tracker_filter=tracker_filter)
         self.scheduler = EventTimeScheduler(self.watcher, self.assessor,
                                             store, self.config, self.metrics)
         self.closed: List[ChangeSession] = []
@@ -123,6 +131,8 @@ class LiveAssessmentService:
                                    for entry in entries["values"])
                          for name, entries in counters.items()},
         }
+        if self.shard_id is not None:
+            doc["shard_id"] = self.shard_id
         if self.health is not None:
             doc["health"] = self.health.summary()
         return doc

@@ -1,0 +1,182 @@
+"""End-to-end cluster guarantees: determinism, recovery, telemetry.
+
+The headline contract: the merged cluster verdict file is
+**byte-identical** to the single-process ``live-replay`` output under
+any shard count, and stays byte-identical after a shard is killed or
+hangs mid-run and is restarted from its checkpoint.  Alongside it, the
+operator surfaces: worker spans and counters absorbed into the parent
+context, per-shard reports namespaced by shard id, and gauge-like
+fields (queue depths) max-merged rather than summed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cluster import (ClusterVerdictBus, cluster_replay_scenario,
+                           merge_reports)
+from repro.engine.fleet import FleetScenarioSpec
+from repro.exceptions import ClusterError
+from repro.live import (ClusterConfig, JsonlVerdictSink, parity_live_config,
+                        replay_scenario, verdict_sort_key)
+from repro.obs import ObsContext
+
+SPEC = FleetScenarioSpec(n_services=3, n_servers=12, n_changes=3,
+                         impact_fraction=0.5, history_days=1,
+                         window_bins=80, change_offset=40, seed=11)
+FLUSH_BINS = 4
+
+
+def _write_sorted(verdicts, path):
+    with JsonlVerdictSink(str(path)) as sink:
+        for verdict in sorted(verdicts, key=verdict_sort_key):
+            sink(verdict)
+
+
+@pytest.fixture(scope="module")
+def single_process(tmp_path_factory):
+    """The reference run: single process, canonically sorted bytes."""
+    config = parity_live_config(SPEC)
+    report = replay_scenario(spec=SPEC, live_config=config,
+                             flush_bins=FLUSH_BINS)
+    path = tmp_path_factory.mktemp("single") / "verdicts.jsonl"
+    _write_sorted(report.verdicts, path)
+    return report, path.read_bytes()
+
+
+def _cluster(tmp_path, n_shards, **kwargs):
+    cluster = kwargs.pop("cluster", None) or ClusterConfig(
+        n_shards=n_shards, checkpoint_every_ticks=10)
+    merged = tmp_path / "merged.jsonl"
+    report = cluster_replay_scenario(
+        spec=SPEC, live_config=parity_live_config(SPEC),
+        flush_bins=FLUSH_BINS, cluster=cluster,
+        workdir=str(tmp_path / "work"), verdicts_path=str(merged),
+        **kwargs)
+    return report, merged.read_bytes()
+
+
+def test_merged_output_is_byte_identical_across_shard_counts(
+        single_process, tmp_path):
+    _, reference = single_process
+    for n_shards in (1, 3):
+        report, merged = _cluster(tmp_path / str(n_shards), n_shards)
+        assert merged == reference
+        assert report.duplicate_verdicts == 0
+        assert report.restarts == {k: 0 for k in range(n_shards)}
+
+
+def test_killed_shard_recovers_to_identical_bytes(single_process, tmp_path):
+    _, reference = single_process
+    report, merged = _cluster(tmp_path, 4, kill_shard=1, kill_at_tick=15)
+    assert merged == reference
+    assert report.restarts[1] == 1
+    assert sum(report.restarts.values()) == 1
+    # The crashed attempt left a readable (possibly torn) verdict file
+    # plus a checkpoint the replacement resumed from.
+    shard_dir = os.path.join(report.workdir, "shard-1")
+    assert os.path.exists(os.path.join(shard_dir, "verdicts-a0.jsonl"))
+    assert os.path.exists(os.path.join(shard_dir, "verdicts-a1.jsonl"))
+    assert os.path.exists(os.path.join(shard_dir, "checkpoint.jsonl"))
+
+
+def test_hung_shard_is_terminated_and_recovers(single_process, tmp_path):
+    _, reference = single_process
+    cluster = ClusterConfig(n_shards=3, checkpoint_every_ticks=10,
+                            heartbeat_timeout_seconds=2.0)
+    report, merged = _cluster(tmp_path, 3, cluster=cluster,
+                              hang_shard=2, hang_at_tick=20)
+    assert merged == reference
+    assert report.restarts[2] == 1
+
+
+def test_restart_budget_exhaustion_raises(tmp_path):
+    # max_restarts=0: the first crash must surface as a ClusterError.
+    cluster = ClusterConfig(n_shards=2, max_restarts=0,
+                            checkpoint_every_ticks=10)
+    with pytest.raises(ClusterError):
+        cluster_replay_scenario(
+            spec=SPEC, live_config=parity_live_config(SPEC),
+            flush_bins=FLUSH_BINS, cluster=cluster,
+            workdir=str(tmp_path / "work"),
+            kill_shard=0, kill_at_tick=5)
+
+
+def test_merged_verdicts_match_offline_engine(tmp_path):
+    report, _ = _cluster(tmp_path, 3, check_offline=True)
+    assert report.parity_ok is True
+
+
+def test_worker_telemetry_lands_in_parent_context(single_process, tmp_path):
+    single, _ = single_process
+    obs = ObsContext()
+    report, _ = _cluster(tmp_path, 3, obs=obs)
+    names = [span.name for span in obs.spans()]
+    assert "cluster_replay" in names
+    assert names.count("live_replay") == 3  # one per shard, adopted
+    assert "live_change" in names
+    # Counters sum losslessly across shards: every published verdict is
+    # visible in the parent registry exactly once.
+    counter = obs.metrics.get("repro_live_verdicts_total")
+    assert counter is not None and counter.total() == len(report.verdicts)
+    assert len(report.verdicts) == len(single.verdicts)
+
+
+def test_reports_are_namespaced_by_shard_and_peaks_not_summed(
+        single_process, tmp_path):
+    _, _ = single_process
+    report, _ = _cluster(tmp_path, 3, health=True)
+    merged = report.service_report
+    for shard_id, doc in merged["shards"].items():
+        assert doc["shard_id"] == int(shard_id)
+    peaks = merged["peak_queue_depth"]
+    assert peaks["max"] == max(peaks["per_shard"].values())
+    assert set(peaks["per_shard"]) == {"0", "1", "2"}
+    # Every heartbeat record carries its shard id.
+    for shard_id in range(3):
+        path = os.path.join(report.workdir, "shard-%d" % shard_id,
+                            "heartbeat.jsonl")
+        with open(path, encoding="utf-8") as fh:
+            records = [json.loads(line) for line in fh if line.strip()]
+        assert records
+        assert all(record.get("shard") == shard_id for record in records
+                   if record.get("kind", "heartbeat") == "heartbeat")
+
+
+def test_fan_in_bus_deduplicates_and_counts():
+    from repro.live.bus import LiveVerdict
+    verdict = LiveVerdict(change_id="chg-1", entity_type="server",
+                          entity="host-1", metric="cpu", verdict="impact",
+                          reason="declared", emitted_at=100)
+    other = LiveVerdict(change_id="chg-1", entity_type="server",
+                        entity="host-2", metric="cpu", verdict="no_change",
+                        reason="deadline", emitted_at=50)
+    bus = ClusterVerdictBus()
+    bus.collect([verdict, other])
+    bus.collect([verdict])  # a crashed attempt's re-read duplicate
+    merged = bus.merge()
+    assert [v.entity for v in merged] == ["host-2", "host-1"]  # sorted
+    assert bus.duplicates == 1
+
+
+def test_merge_reports_sums_counts_and_maxes_gauges():
+    merged = merge_reports({
+        0: {"verdicts": 3, "closed_changes": 1, "active_changes": 0,
+            "peak_queue_depth": 10, "queue_depth": 2,
+            "counters": {"x": 1}, "shed_change_ids": ["chg-9"]},
+        1: {"verdicts": 5, "closed_changes": 2, "active_changes": 0,
+            "peak_queue_depth": 4, "queue_depth": 0,
+            "counters": {"x": 2}, "shed_change_ids": []},
+    }, restarts={0: 1, 1: 0}, duplicates=2)
+    assert merged["verdicts"] == 8
+    assert merged["closed_changes"] == 3
+    assert merged["peak_queue_depth"]["max"] == 10
+    assert merged["peak_queue_depth"]["per_shard"] == {"0": 10, "1": 4}
+    assert merged["queue_depth"]["max"] == 2
+    assert merged["counters"] == {"x": 3}
+    assert merged["restarts"] == {0: 1, 1: 0}
+    assert merged["duplicate_verdicts"] == 2
+    assert merged["shed_change_ids"] == ["chg-9"]

@@ -1,0 +1,138 @@
+"""Routing stability: the hash ring must be boring and stay boring.
+
+The merged-output byte-identity guarantee rests on every process —
+parent, workers, CI runners — deriving the *same* entity→shard map from
+``(n_shards, replicas)`` alone.  These tests pin that map with golden
+assignments (a changed blake2b recipe fails loudly), the consistent-
+hashing movement bound, and the control-panel mirroring that keeps
+per-shard DiD identical to the single-process run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.routing import HashRing, control_keys, plan_shards
+from repro.engine.fleet import FleetScenarioSpec, SyntheticFleetSource
+from repro.engine.planner import ENTITY_METRICS
+from repro.exceptions import ParameterError
+from repro.live.replay import fleet_kpi_keys
+from repro.topology.impact import identify_impact_set
+
+SPEC = FleetScenarioSpec(n_services=3, n_servers=12, n_changes=3,
+                         impact_fraction=0.5, history_days=1,
+                         window_bins=80, change_offset=40, seed=11)
+
+#: Golden entity→shard assignments for ``HashRing(4, replicas=64)``.
+#: These pin the blake2b recipe across processes and platforms: if any
+#: of them ever changes, merged files stop being reproducible and every
+#: existing shard checkpoint silently routes differently.
+GOLDEN_OWNERS_4 = {
+    "search.backend": 0,
+    "search.cache": 1,
+    "search.frontend": 1,
+    "search-backend-0005": 0,
+    "search-backend-0006": 1,
+    "search-backend-0007": 3,
+    "search.backend@search-backend-0005": 2,
+}
+
+
+def test_golden_assignments_pin_the_hash_recipe():
+    ring = HashRing(4, replicas=64)
+    assert {name: ring.owner(name) for name in GOLDEN_OWNERS_4} \
+        == GOLDEN_OWNERS_4
+
+
+def test_rings_are_identical_across_instances():
+    a, b = HashRing(5, replicas=32), HashRing(5, replicas=32)
+    names = ["host-%04d" % i for i in range(200)]
+    assert [a.owner(n) for n in names] == [b.owner(n) for n in names]
+
+
+def test_single_shard_owns_everything():
+    ring = HashRing(1)
+    assert {ring.owner("host-%04d" % i) for i in range(50)} == {0}
+
+
+def test_adding_a_shard_moves_about_one_nth():
+    names = ["host-%04d" % i for i in range(2000)] \
+        + ["svc-%02d@host-%04d" % (i % 7, i) for i in range(2000)]
+    before = HashRing(4, replicas=64)
+    after = HashRing(5, replicas=64)
+    moved = sum(before.owner(n) != after.owner(n) for n in names)
+    fraction = moved / len(names)
+    # Ideal is 1/5 = 0.20 (only entities the new shard claims move);
+    # virtual nodes keep the spread near that, nowhere near a rehash
+    # (which would move ~3/4 of everything).
+    assert 0.10 < fraction < 0.35
+
+
+def test_every_shard_gets_a_reasonable_share():
+    ring = HashRing(4, replicas=64)
+    names = ["host-%04d" % i for i in range(4000)]
+    counts = [0] * 4
+    for name in names:
+        counts[ring.owner(name)] += 1
+    for count in counts:
+        assert 0.5 * len(names) / 4 < count < 1.7 * len(names) / 4
+
+
+def test_ring_rejects_degenerate_parameters():
+    with pytest.raises(ParameterError):
+        HashRing(0)
+    with pytest.raises(ParameterError):
+        HashRing(2, replicas=0)
+
+
+def test_plans_partition_changes_and_fleet_keys():
+    source = SyntheticFleetSource(SPEC)
+    plans = plan_shards(source, 4, replicas=64,
+                        max_control_units=SPEC.max_control_units)
+    ring = HashRing(4, replicas=64)
+    all_keys = fleet_kpi_keys(source)
+
+    # Every change is assessed somewhere; a change appears on a shard
+    # iff that shard owns at least one of its monitored entities.
+    for change in source.changes:
+        impact = identify_impact_set(source.fleet, change.service,
+                                     change.hostnames)
+        owners = {ring.owner(entity)
+                  for _, entity in impact.monitored_entities()}
+        assert owners == {plan.shard_id for plan in plans
+                          if change.change_id in plan.change_ids}
+
+    # Owned fleet keys partition exactly; extras are control keys only.
+    for key in all_keys:
+        holders = [plan.shard_id for plan in plans if key in plan.keys]
+        assert ring.owner(key.entity) in holders
+
+    # Monitored trackers are disjoint across shards: each monitored
+    # entity has exactly one owner, so no verdict is produced twice.
+    for plan in plans:
+        for key in plan.keys:
+            if ring.owner(key.entity) == plan.shard_id:
+                others = [p for p in plans if p.shard_id != plan.shard_id
+                          and key in p.keys
+                          and ring.owner(key.entity) == p.shard_id]
+                assert not others
+
+
+def test_control_keys_mirror_the_watcher_panels():
+    source = SyntheticFleetSource(SPEC)
+    for change in source.changes:
+        impact = identify_impact_set(source.fleet, change.service,
+                                     change.hostnames)
+        keys = control_keys(impact, SPEC.max_control_units)
+        if not impact.dark_launched:
+            assert keys == []
+            continue
+        expected = []
+        for entity_type, peers in (
+                ("server", impact.control_hostnames),
+                ("instance", tuple(i.name for i in impact.cinstances))):
+            for metric in ENTITY_METRICS.get(entity_type, ()):
+                expected.extend((entity_type, peer, metric)
+                                for peer in peers[:SPEC.max_control_units])
+        assert [(k.entity_type, k.entity, k.metric) for k in keys] \
+            == expected

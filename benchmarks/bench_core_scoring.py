@@ -1,0 +1,146 @@
+"""Core scoring throughput: ``IkaSST.scores_batch`` over a series grid.
+
+The batched scorer is the arithmetic floor of the whole pipeline —
+every per-tick pooled/fused pass in the live service and every offline
+sweep bottoms out in one ``scores_batch`` call.  This bench sweeps an
+``n_series x T`` grid (fleet width x series length), measures scored
+points/sec for the stacked call, and compares it against the naive
+per-row loop (``scores`` once per series) to record the stacking
+speedup.  Results land in ``benchmarks/BENCH_core.json``.
+
+Points/sec counts *scored* indices (``hi - lo`` per row), not raw
+samples, so cells are comparable across T: the figure is detector
+decisions per second, the unit fleet capacity planning uses.
+
+Scale with ``REPRO_BENCH_CORE_REPEATS`` (timing repeats per cell,
+default 3; the best repeat is kept).  Runnable standalone::
+
+    PYTHONPATH=src python benchmarks/bench_core_scoring.py
+"""
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from repro.core.ika import IkaSST
+
+OUT_PATH = pathlib.Path(__file__).parent / "BENCH_core.json"
+
+#: (n_series, T) cells.  T=64 is the live-tick regime — the pooled /
+#: fused tick scores many short pending segments per pass, and that is
+#: where stacking pays (per-call setup amortises across rows).  The
+#: longer cells cover warmup rescores and offline sweeps, where the
+#: einsum windows grow memory-bound and stacking converges to ~1x.
+GRID = (
+    (16, 64),
+    (64, 64),
+    (256, 64),
+    (8, 256),
+    (64, 256),
+    (64, 1024),
+)
+
+#: Per-row loop comparison skipped above this (the loop is the slow
+#: side by construction; no need to burn minutes re-proving it).
+LOOP_MAX_SERIES = 256
+
+
+def _repeats() -> int:
+    return int(os.environ.get("REPRO_BENCH_CORE_REPEATS", "3"))
+
+
+def _grid_stack(rng: np.random.Generator, n_series: int, width: int):
+    """Step-at-midpoint streams, the scenario generators' shape."""
+    stack = 50.0 + rng.normal(0.0, 0.5, size=(n_series, width))
+    stack[:, width // 2:] += 4.0
+    return stack
+
+
+def _best_seconds(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _measure_cell(scorer: IkaSST, rng: np.random.Generator,
+                  n_series: int, width: int) -> dict:
+    stack = _grid_stack(rng, n_series, width)
+    lo, hi = scorer._score_range(width)
+    scored_points = n_series * (hi - lo)
+    repeats = _repeats()
+
+    batched = scorer.scores_batch(stack)
+    batch_seconds = _best_seconds(lambda: scorer.scores_batch(stack),
+                                  repeats)
+    doc = {
+        "n_series": n_series,
+        "series_length": width,
+        "scored_points": scored_points,
+        "batch_seconds": round(batch_seconds, 5),
+        "points_per_second": round(scored_points / batch_seconds, 1),
+    }
+    if n_series <= LOOP_MAX_SERIES:
+        looped = np.stack([scorer.scores(row) for row in stack])
+        # The stacked call is the per-row arithmetic, bitwise.
+        assert looped.tobytes() == batched.tobytes()
+        loop_seconds = _best_seconds(
+            lambda: [scorer.scores(row) for row in stack], repeats)
+        doc["loop_seconds"] = round(loop_seconds, 5)
+        doc["stacking_speedup"] = round(loop_seconds / batch_seconds, 3)
+    return doc
+
+
+def run_bench() -> dict:
+    scorer = IkaSST()
+    rng = np.random.default_rng(7)
+    cells = [_measure_cell(scorer, rng, n_series, width)
+             for n_series, width in GRID]
+    report = {
+        "omega": scorer.params.omega,
+        "eta": scorer.params.eta,
+        "repeats": _repeats(),
+        "cells": cells,
+    }
+    OUT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
+def test_core_scoring_throughput(benchmark):
+    report = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+
+    print()
+    print("Core scores_batch throughput (omega=%d):" % report["omega"])
+    for cell in report["cells"]:
+        speedup = cell.get("stacking_speedup")
+        print("  %4d series x %5d bins: %12.0f points/s%s"
+              % (cell["n_series"], cell["series_length"],
+                 cell["points_per_second"],
+                 "" if speedup is None
+                 else ", %.2fx vs per-row loop" % speedup))
+
+    for cell in report["cells"]:
+        assert cell["points_per_second"] > 0
+        assert cell["scored_points"] > 0
+    by_key = {(c["n_series"], c["series_length"]): c
+              for c in report["cells"]}
+    # In the tick regime stacking must clearly beat the per-row loop
+    # (measured ~2x; 1.3 floor absorbs timer noise on busy hosts).
+    assert by_key[(64, 64)]["stacking_speedup"] >= 1.3
+    assert by_key[(256, 64)]["stacking_speedup"] >= 1.3
+    # In the memory-bound long-T regime stacking may only break even,
+    # but it must never collapse below the loop (noise-tolerant floor).
+    assert by_key[(64, 1024)]["stacking_speedup"] >= 0.7
+    # Per-point throughput must hold up as the batch widens at fixed
+    # short T — per-call overhead amortises across rows (0.9 floor).
+    assert by_key[(256, 64)]["points_per_second"] >= \
+        0.9 * by_key[(16, 64)]["points_per_second"]
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_bench(), indent=2, sort_keys=True))

@@ -3,11 +3,14 @@
 Replays the same synthetic scenario through
 :func:`repro.live.replay_scenario` at 1x / 4x / 16x the base fleet size
 (servers scale; so do the subscribed KPI streams), once with
-per-detector scoring and once with the pooled scoring loop
+per-detector scoring, once with the pooled scoring loop
 (``pooled_scoring=True``: every tracker's pending segment scored in one
-stacked call per tick), and writes ``benchmarks/BENCH_live.json`` with
-fragments/sec, p50/p99 detection lag in bins, per-scale wall time, and
-the pooled-vs-per-detector speedup per scale.  A final forced-overload
+stacked call per tick), and once with the fused ingest plane on top
+(``fused_ingest=True``: store→queue→arena moves whole tick batches and
+the arena scatter-writes + broadcast-normalises them), and writes
+``benchmarks/BENCH_live.json`` with fragments/sec, p50/p99 detection
+lag in bins, per-scale wall time, and the pooled- and
+fused-vs-per-detector speedups per scale.  A final forced-overload
 round (tiny queues, throttled drain budget) verifies that backpressure
 keeps the peak queue depth bounded while the shed counters account for
 every dropped fragment.
@@ -38,6 +41,7 @@ import tempfile
 from repro.cluster import cluster_replay_scenario
 from repro.engine import FleetScenarioSpec
 from repro.live import ClusterConfig, parity_live_config, replay_scenario
+from repro.live.assessor import FUSED_BATCHES_METRIC, FUSED_ROWS_METRIC
 from repro.live.pool import POOLED_BATCHES_METRIC, POOLED_SERIES_METRIC
 from repro.live.queues import SHED_FRAGMENTS_METRIC
 from repro.obs.metrics import Histogram
@@ -86,10 +90,11 @@ def _percentile(values, q):
     return round(hist.percentile(q), 2)
 
 
-def _measure(scale: int, pooled: bool) -> dict:
+def _measure(scale: int, pooled: bool, fused: bool = False) -> dict:
     spec = _spec(scale)
     config = parity_live_config(spec, score_chunk_bins=8,
-                                pooled_scoring=pooled)
+                                pooled_scoring=pooled or fused,
+                                fused_ingest=fused)
     report = replay_scenario(spec, live_config=config, flush_bins=4)
     lags = list(report.detection_lag_bins)
     counters = report.service_report["counters"]
@@ -97,7 +102,8 @@ def _measure(scale: int, pooled: bool) -> dict:
         "scale": scale,
         "services": spec.n_services,
         "servers": spec.n_servers,
-        "scoring": "pooled" if pooled else "per_detector",
+        "scoring": ("fused" if fused
+                    else "pooled" if pooled else "per_detector"),
         "fragments_streamed": report.fragments_streamed,
         "fragments_per_second": round(report.fragments_per_second, 1),
         "wall_seconds": round(report.wall_seconds, 4),
@@ -106,12 +112,15 @@ def _measure(scale: int, pooled: bool) -> dict:
         "detection_lag_bins_p99": _percentile(lags, 99),
         "peak_queue_depth": report.service_report["peak_queue_depth"],
     }
-    if pooled:
+    if pooled or fused:
         batches = counters.get(POOLED_BATCHES_METRIC, 0)
         doc["pooled_batches"] = batches
         doc["pooled_series"] = counters.get(POOLED_SERIES_METRIC, 0)
         doc["pooled_mean_batch"] = (
             round(doc["pooled_series"] / batches, 2) if batches else None)
+    if fused:
+        doc["fused_batches"] = counters.get(FUSED_BATCHES_METRIC, 0)
+        doc["fused_rows"] = counters.get(FUSED_ROWS_METRIC, 0)
     return doc
 
 
@@ -209,14 +218,22 @@ def run_cluster_bench() -> dict:
 def run_bench() -> dict:
     runs = [_measure(scale, pooled=False) for scale in SCALES]
     pooled_runs = [_measure(scale, pooled=True) for scale in SCALES]
+    fused_runs = [_measure(scale, pooled=True, fused=True)
+                  for scale in SCALES]
     overload = _measure_overload()
     report = {
         "runs": runs,
         "pooled_runs": pooled_runs,
+        "fused_runs": fused_runs,
         "pooled_speedup": {
             str(scale): round(pooled["fragments_per_second"]
                               / plain["fragments_per_second"], 3)
             for scale, plain, pooled in zip(SCALES, runs, pooled_runs)
+        },
+        "fused_speedup": {
+            str(scale): round(fused["fragments_per_second"]
+                              / plain["fragments_per_second"], 3)
+            for scale, plain, fused in zip(SCALES, runs, fused_runs)
         },
         "overload": overload,
     }
@@ -229,7 +246,8 @@ def test_live_throughput(benchmark):
 
     print()
     print("Live replay throughput:")
-    for run in report["runs"] + report["pooled_runs"]:
+    for run in (report["runs"] + report["pooled_runs"]
+                + report["fused_runs"]):
         print("  %2dx fleet (%3d servers, %-12s): %9.0f frag/s, "
               "lag p50=%s p99=%s bins"
               % (run["scale"], run["servers"], run["scoring"],
@@ -238,26 +256,34 @@ def test_live_throughput(benchmark):
                  run["detection_lag_bins_p99"]))
     overload = report["overload"]
     print("  pooled speedup by scale: %s" % report["pooled_speedup"])
+    print("  fused speedup by scale:  %s" % report["fused_speedup"])
     print("  overload: shed=%d peak_depth=%d"
           % (overload["shed_fragments"], overload["peak_queue_depth"]))
 
-    for plain, pooled in zip(report["runs"], report["pooled_runs"]):
-        for run in (plain, pooled):
+    for plain, pooled, fused in zip(report["runs"], report["pooled_runs"],
+                                    report["fused_runs"]):
+        for run in (plain, pooled, fused):
             assert run["fragments_per_second"] > 0
             assert run["verdicts"] > 0
-        # Pooling is a throughput mode: identical verdict counts and
-        # identical detection-lag quantiles, by construction.
-        assert pooled["verdicts"] == plain["verdicts"]
-        assert pooled["detection_lag_bins_p50"] == \
-            plain["detection_lag_bins_p50"]
-        assert pooled["detection_lag_bins_p99"] == \
-            plain["detection_lag_bins_p99"]
-        # Each pooled batch must actually stack several detectors.
-        assert pooled["pooled_mean_batch"] is None or \
-            pooled["pooled_mean_batch"] >= 1.0
+        # Pooling and fusing are throughput modes: identical verdict
+        # counts and identical detection-lag quantiles, by construction.
+        for run in (pooled, fused):
+            assert run["verdicts"] == plain["verdicts"]
+            assert run["detection_lag_bins_p50"] == \
+                plain["detection_lag_bins_p50"]
+            assert run["detection_lag_bins_p99"] == \
+                plain["detection_lag_bins_p99"]
+            # Each pooled batch must actually stack several detectors.
+            assert run["pooled_mean_batch"] is None or \
+                run["pooled_mean_batch"] >= 1.0
+        # The fused path must actually take the tensor scatter.
+        assert fused["fused_batches"] > 0
+        assert fused["fused_rows"] > 0
     # At fleet scale the stacked pass must not lose to per-detector
     # scoring (0.85 floor absorbs timer noise; typical: >= 1.5x).
     assert report["pooled_speedup"]["16"] >= 0.85
+    # Fused ingest rides the pooled plane: same floor, same rationale.
+    assert report["fused_speedup"]["16"] >= 0.85
     # Backpressure: shedding happened, yet memory stayed bounded and
     # every admitted change still closed with verdicts.
     assert overload["shed_fragments"] > 0

@@ -278,6 +278,12 @@ def _add_live_runtime_options(live: argparse.ArgumentParser) -> None:
                       help="score all trackers' pending segments in one "
                            "stacked pass per tick instead of per "
                            "fragment (bit-identical verdicts)")
+    live.add_argument("--fused-ingest", action="store_true",
+                      help="run the whole ingest plane in fused batches "
+                           "(batched store appends, batch queue drains, "
+                           "one arena scatter-write + normalise per "
+                           "tick); implies --pooled-scoring, verdicts "
+                           "byte-identical")
     live.add_argument("--queue-capacity", type=int, default=64,
                       help="per-KPI ingest queue bound, in fragments")
     live.add_argument("--drain-budget", type=int, default=0,
@@ -526,7 +532,8 @@ def _run_live_replay(args: argparse.Namespace, command: str,
     live_config = parity_live_config(
         spec, funnel_config=funnel_config,
         score_chunk_bins=args.score_chunk,
-        pooled_scoring=args.pooled_scoring,
+        pooled_scoring=args.pooled_scoring or args.fused_ingest,
+        fused_ingest=args.fused_ingest,
         queue_capacity=args.queue_capacity,
         max_fragments_per_tick=args.drain_budget,
         max_active_changes=args.max_active_changes,
@@ -574,7 +581,8 @@ def _run_live_replay(args: argparse.Namespace, command: str,
                 "changes": args.changes,
                 "flush_bins": args.flush_bins,
                 "score_chunk": args.score_chunk,
-                "pooled_scoring": args.pooled_scoring,
+                "pooled_scoring": args.pooled_scoring or args.fused_ingest,
+                "fused_ingest": args.fused_ingest,
                 "queue_capacity": args.queue_capacity,
                 "drain_budget": args.drain_budget,
                 "max_active_changes": args.max_active_changes,
@@ -655,7 +663,8 @@ def _cmd_cluster_replay(args: argparse.Namespace):
     live_config = parity_live_config(
         spec, funnel_config=funnel_config,
         score_chunk_bins=args.score_chunk,
-        pooled_scoring=args.pooled_scoring,
+        pooled_scoring=args.pooled_scoring or args.fused_ingest,
+        fused_ingest=args.fused_ingest,
         queue_capacity=args.queue_capacity,
         max_fragments_per_tick=args.drain_budget,
         max_active_changes=args.max_active_changes,
@@ -693,7 +702,8 @@ def _cmd_cluster_replay(args: argparse.Namespace):
                 "shards": args.shards,
                 "replicas": args.replicas,
                 "flush_bins": args.flush_bins,
-                "pooled_scoring": args.pooled_scoring,
+                "pooled_scoring": args.pooled_scoring or args.fused_ingest,
+                "fused_ingest": args.fused_ingest,
                 "fault_plan": args.fault_plan,
                 "omega": args.omega,
                 "did_threshold": args.did_threshold,
@@ -748,6 +758,7 @@ def _cmd_obs_report(args: argparse.Namespace):
     profile = build_profile(run.spans, top_jobs=args.top)
     counters = _counter_rows(run.metrics)
     batching = _batching_summary(run.metrics)
+    ingest_plane = _ingest_plane_summary(run.metrics)
     if args.folded:
         lines = folded_stacks(profile)
         with open(args.folded, "w", encoding="utf-8") as fh:
@@ -764,6 +775,8 @@ def _cmd_obs_report(args: argparse.Namespace):
         }
         if batching:
             doc["batching"] = batching
+        if ingest_plane:
+            doc["ingest_plane"] = ingest_plane
         if args.folded:
             doc["folded"] = args.folded
         return doc
@@ -782,6 +795,10 @@ def _cmd_obs_report(args: argparse.Namespace):
     if batching:
         text += "\nBatching\n"
         for label, value in sorted(batching.items()):
+            text += "  %-46s %12g\n" % (label, value)
+    if ingest_plane:
+        text += "\nIngest plane\n"
+        for label, value in sorted(ingest_plane.items()):
             text += "  %-46s %12g\n" % (label, value)
     if args.folded:
         text += "\nFolded stacks written to %s\n" % args.folded
@@ -827,6 +844,35 @@ def _batching_summary(metrics: dict) -> dict:
         out["pooled_scoring_batches"] = pooled
         out["pooled_scoring_series"] = series
         out["pooled_scoring_mean_size"] = round(series / pooled, 2)
+    return out
+
+
+def _ingest_plane_summary(metrics: dict) -> dict:
+    """Per-stage ingest-plane timing and fused-batch health.
+
+    Stage seconds come from the scheduler's per-tick wall clocks (the
+    replay driver contributes ``stage=stream`` for its append side);
+    the fused counters split arena scatter-writes (``tensor``) from the
+    per-detector fallback the arena takes for private or warming rows.
+    """
+    from .live.assessor import FUSED_BATCHES_METRIC, FUSED_ROWS_METRIC
+    from .live.scheduler import TICK_STAGE_SECONDS_METRIC
+
+    counters = (metrics or {}).get("counters") or {}
+    out = {}
+    stage_doc = counters.get(TICK_STAGE_SECONDS_METRIC) or {}
+    for entry in stage_doc.get("values") or ():
+        stage = entry.get("labels", {}).get("stage", "unknown")
+        out["stage_seconds_%s" % stage] = round(entry.get("value", 0), 4)
+    fused_doc = counters.get(FUSED_BATCHES_METRIC) or {}
+    batches = sum(entry.get("value", 0)
+                  for entry in fused_doc.get("values") or ())
+    if batches:
+        out["fused_batches"] = batches
+        rows_doc = counters.get(FUSED_ROWS_METRIC) or {}
+        for entry in rows_doc.get("values") or ():
+            path = entry.get("labels", {}).get("path", "unknown")
+            out["fused_rows_%s" % path] = entry.get("value", 0)
     return out
 
 

@@ -31,7 +31,8 @@ from ..types import Assessment, DetectedChange, Verdict
 from .did import DiDEstimator, DiDPanel
 from .funnel import FunnelConfig
 from .ika import IkaSST
-from .scoring import declare_changes, robust_normalise
+from .robust import MAD_TO_SIGMA, median_and_mad
+from .scoring import confirm_candidate, robust_normalise
 
 __all__ = ["StreamingDetector", "StreamingAssessor"]
 
@@ -73,6 +74,18 @@ class StreamingDetector:
         self._values: List[float] = []
         self._offset = 0          # absolute index of _values[0]
         self._declared: List[DetectedChange] = []
+        # Suffix-rescore cache: the normalised series and its scores are
+        # append-only once the baseline statistics freeze (the baseline
+        # prefix is complete and the ring has not trimmed), so a push
+        # appends one normalised sample and scores only the one new
+        # index instead of re-running the scorer over the whole buffer.
+        self._norm_buf = np.zeros(0, dtype=np.float64)
+        self._score_buf = np.zeros(0, dtype=np.float64)
+        self._cache_n = 0               # samples the buffers cover
+        self._cache_key: Optional[tuple] = None   # (baseline, offset)
+        self._cache_stats = (0.0, 1.0)  # (median, denominator)
+        self._next_score_t = 0          # first not-yet-scored index
+        self._scan_t = 0                # first unresolved candidate index
 
     # -- stream state -----------------------------------------------------------
 
@@ -119,16 +132,52 @@ class StreamingDetector:
             return None
         local_change = self.change_index - self._offset
         baseline = max(1, min(local_change, n)) if local_change > 0 else 1
-        x = np.asarray(self._values)
-        normalised = robust_normalise(x, baseline=baseline)
-        scores = self.scorer.scores(normalised)
-        declared = declare_changes(
-            normalised, scores, self.config.policy,
-            lookahead=self.config.sst.lookahead - 1,
-        )
+        normalised, scores = self._refresh(n, baseline)
+        return self._scan(normalised, scores, n)
+
+    def _scan(self, normalised: np.ndarray, scores: np.ndarray,
+              n: int) -> Optional[DetectedChange]:
+        """Resolve armed candidates left of the scoring frontier.
+
+        Replays the policy scan :func:`declare_changes` runs over the
+        whole series, but from a persistent cursor: every candidate left
+        of it is already resolved (confirmed, rejected, or consumed by a
+        declaration) on data that cannot change, so only the unresolved
+        tail is examined per push.  A candidate whose persistence-plus-
+        declaration window does not fit yet parks the cursor — windows
+        are monotone, so everything past it is undecidable too, exactly
+        the candidates the full scan would reject and retry next push.
+        The cursor resets whenever :meth:`_refresh` rebuilds.
+        """
+        policy = self.config.policy
+        lookahead = self.config.sst.lookahead - 1
+        detect_offset = max(policy.persistence - 1, lookahead)
+        pad = max(policy.persistence, detect_offset + 1)
+        limit = self._next_score_t      # scores past it are not final
         last_seen = (self._declared[-1].index if self._declared
                      else self.change_index - 1)
-        for change in declared:
+        t = self._scan_t
+        while True:
+            armed = np.flatnonzero(
+                scores[t:limit] > policy.score_threshold)
+            if armed.size == 0:
+                # A declaration can park the cursor past the scoring
+                # frontier (its index consumes unscored candidates);
+                # never pull it back over consumed ground.
+                self._scan_t = max(t, limit)
+                return None
+            candidate = int(armed[0]) + t
+            if candidate + pad > n:
+                self._scan_t = candidate
+                return None
+            change = confirm_candidate(normalised, scores, candidate,
+                                       policy, lookahead=lookahead)
+            if change is None:
+                t = self._scan_t = candidate + 1
+                continue
+            # Confirmed: the full scan resumes after the declaration
+            # index whether or not the streaming filters report it.
+            t = self._scan_t = change.index + 1
             absolute = DetectedChange(
                 index=change.index + self._offset,
                 start_index=change.start_index + self._offset,
@@ -145,7 +194,60 @@ class StreamingDetector:
             if absolute.index == self.position - 1:
                 self._declared.append(absolute)
                 return absolute
-        return None
+
+    def _refresh(self, n: int, baseline: int) -> tuple:
+        """The normalised series and its scores, suffix-rescored.
+
+        While the baseline prefix is still growing (or the ring trims,
+        shifting it), the statistics change with every push and both
+        arrays are rebuilt in full — bitwise what the one-shot transform
+        produces.  Once ``(baseline, offset)`` is stable the cached
+        arrays are extended in place: the new samples are centred and
+        scaled with the frozen statistics (elementwise, so identical to
+        the full transform) and only the indices whose scoring window
+        just completed go through the scorer, on the same
+        ``[t - span, t + span)`` segment the full pass would consume.
+        """
+        span = self.config.sst.lead
+        key = (baseline, self._offset)
+        if key != self._cache_key or n < self._cache_n:
+            x = np.asarray(self._values)
+            normalised = robust_normalise(x, baseline=baseline)
+            capacity = max(256, 2 * n)
+            self._norm_buf = np.zeros(capacity, dtype=np.float64)
+            self._score_buf = np.zeros(capacity, dtype=np.float64)
+            self._norm_buf[:n] = normalised
+            self._score_buf[:n] = self.scorer.scores(normalised)
+            med, scale = median_and_mad(x[:baseline])
+            self._cache_stats = (med, MAD_TO_SIGMA * scale + 1e-9)
+            self._cache_key = key
+            self._cache_n = n
+            self._next_score_t = n - span + 1
+            self._scan_t = 0
+            return self._norm_buf[:n], self._score_buf[:n]
+        if n > self._norm_buf.size:
+            capacity = max(2 * n, 256)
+            grown_norm = np.zeros(capacity, dtype=np.float64)
+            grown_norm[:self._cache_n] = self._norm_buf[:self._cache_n]
+            self._norm_buf = grown_norm
+            grown_scores = np.zeros(capacity, dtype=np.float64)
+            grown_scores[:self._cache_n] = self._score_buf[:self._cache_n]
+            self._score_buf = grown_scores
+        old_n = self._cache_n
+        med, denom = self._cache_stats
+        fresh = np.asarray(self._values[old_n:n], dtype=np.float64)
+        self._norm_buf[old_n:n] = (fresh - med) / denom
+        self._score_buf[old_n:n] = 0.0
+        self._cache_n = n
+        t_hi = n - span          # inclusive: last index whose window fits
+        t_lo = self._next_score_t
+        if t_hi >= t_lo:
+            segment = self._norm_buf[t_lo - span:t_hi + span]
+            segment_scores = self.scorer.scores(segment)
+            self._score_buf[t_lo:t_hi + 1] = \
+                segment_scores[span:span + (t_hi - t_lo + 1)]
+            self._next_score_t = t_hi + 1
+        return self._norm_buf[:n], self._score_buf[:n]
 
 
 @dataclass

@@ -148,6 +148,14 @@ class FaultyMetricStore:
             queue = self._pending[key] = deque()
         queue.append((release, fragment))
 
+    def append_batch(self, items: List[Tuple[KpiKey, TimeSeries]]) -> None:
+        """Batched append, unbatched on purpose: every fragment rolls
+        its own ingest fault and pushes through its own shim decision,
+        so a fused replay sees the exact per-fragment fault sequence an
+        unfused one does."""
+        for key, fragment in items:
+            self.append(key, fragment)
+
     def advance(self, now: int) -> None:
         """Release every pending fragment matured by virtual time ``now``."""
         for key in sorted(self._pending, key=str):
@@ -197,8 +205,11 @@ class FaultyMetricStore:
 
     # -- subscriptions (push faults) -------------------------------------------
 
-    def subscribe(self, keys: Iterable[KpiKey],
-                  callback: Callback) -> Subscription:
+    def subscribe(self, keys: Iterable[KpiKey], callback: Callback,
+                  batch_callback=None) -> Subscription:
+        # ``batch_callback`` is accepted but deliberately unused: push
+        # faults (drop / duplicate / reorder) are rolled per fragment,
+        # so deliveries must stay per-fragment through the shim.
         shim = _PushShim(self.plan, callback, self._count)
         sub = self.inner.subscribe(keys, shim)
         shim.subscription = sub

@@ -232,7 +232,7 @@ def _restore_session(service, record: dict) -> ChangeSession:
     for doc in record["trackers"]:
         key = _unkey3(doc["key"])
         tracker = KpiTracker(key, doc["change_index"], doc["start_time"],
-                             config)
+                             config, arena=service.assessor.arena)
         tracker.detector.load_state(doc["detector"])
         tracker.degraded = doc["degraded"]
         tracker.done = doc["done"]
@@ -246,7 +246,10 @@ def _restore_session(service, record: dict) -> ChangeSession:
 
     session.subscription = service.store.subscribe(
         session.subscribed_keys(),
-        lambda key, fragment, _q=session.queues: _q.offer(key, fragment))
+        lambda key, fragment, _q=session.queues: _q.offer(key, fragment),
+        batch_callback=(
+            (lambda items, _q=session.queues: _q.offer_batch(items))
+            if config.fused_ingest else None))
     service.watcher.sessions[session.change_id] = session
     return session
 

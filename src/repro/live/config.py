@@ -77,6 +77,17 @@ class LiveConfig:
             deadline close — so declared indices and verdicts are
             unchanged; only the amount of Python/LAPACK call overhead
             per tick is.
+        fused_ingest: run the tick's ingest plane in fused batches on
+            top of pooled scoring: the store fans a batched append out
+            as one push per subscription, the queues hand the scheduler
+            a materialised per-tick batch, and the shared
+            :class:`~repro.live.arena.DetectorArena` scatter-writes and
+            normalises every staged tracker in single vectorised
+            passes.  No arithmetic is reordered — the same floats land
+            in the same slots — so verdict JSONL is byte-identical to
+            the unfused pooled path (CI pins it with ``cmp``).
+            Requires ``pooled_scoring`` (fusing only buffers appends;
+            something must score them in bulk).
         repair_from_store: when the push stream skips ahead of a
             session's expected next bin (a dropped or reordered push),
             read the missing range back from the durable metric store
@@ -102,6 +113,7 @@ class LiveConfig:
     fetch_timeout_seconds: float = 0.0
     close_grace_seconds: int = 0
     pooled_scoring: bool = False
+    fused_ingest: bool = False
     repair_from_store: bool = False
 
     def __post_init__(self) -> None:
@@ -133,6 +145,8 @@ class LiveConfig:
             raise ParameterError("fetch_timeout_seconds must be >= 0")
         if self.close_grace_seconds < 0:
             raise ParameterError("close_grace_seconds must be >= 0")
+        if self.fused_ingest and not self.pooled_scoring:
+            raise ParameterError("fused_ingest requires pooled_scoring")
 
 
 @dataclass(frozen=True)

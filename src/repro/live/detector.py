@@ -29,6 +29,17 @@ cost.  Declarations are still found at the same indices — at most
 ``c - 1`` bins later in arrival time — and :meth:`flush` (called at the
 change deadline) scores any remainder, so no declaration is ever lost
 to chunking.
+
+Storage lives in a :class:`~repro.live.arena.DetectorArena`: the
+detector owns one *row* of the arena's shared ``values``/``norm``/
+``scores`` blocks instead of three private arrays.  A detector built
+without an explicit arena gets a private single-row one, so nothing
+changes for standalone use; the live assessor hands every tracker the
+same shared arena so one tick can scatter-write and normalise the
+whole fleet in single vectorised passes (see
+:meth:`~repro.live.arena.DetectorArena.extend_batch`).  The wire format
+of :meth:`state_dict` is unchanged — checkpoints written by the
+pre-arena detector restore into an arena-backed one and vice versa.
 """
 
 from __future__ import annotations
@@ -40,12 +51,12 @@ import numpy as np
 from ..core.funnel import FunnelConfig
 from ..core.ika import IkaSST
 from ..core.robust import MAD_TO_SIGMA, median_and_mad
-from ..core.scoring import confirm_candidate
+from ..core.scoring import (_gating_table, classify_change,
+                            confirm_candidate, estimate_change_start)
 from ..types import DetectedChange
+from .arena import DetectorArena
 
 __all__ = ["IncrementalDetector"]
-
-_MIN_CAPACITY = 128
 
 
 class IncrementalDetector:
@@ -59,7 +70,8 @@ class IncrementalDetector:
     def __init__(self, change_index: int,
                  config: Optional[FunnelConfig] = None,
                  score_chunk_bins: int = 1,
-                 deferred_scoring: bool = False) -> None:
+                 deferred_scoring: bool = False,
+                 arena: Optional[DetectorArena] = None) -> None:
         self.config = config or FunnelConfig()
         self.scorer = IkaSST(self.config.sst)
         self.change_index = change_index
@@ -74,9 +86,9 @@ class IncrementalDetector:
         self.span = self.config.sst.lead
         #: The wall-clock lag declare_changes charges the score with.
         self.lookahead = self.config.sst.lookahead - 1
-        self._values = np.empty(_MIN_CAPACITY, dtype=np.float64)
-        self._norm = np.empty(_MIN_CAPACITY, dtype=np.float64)
-        self._scores = np.zeros(_MIN_CAPACITY, dtype=np.float64)
+        self._shared = arena is not None
+        self.arena = arena if arena is not None else DetectorArena()
+        self._row = self.arena.acquire()
         self._n = 0
         self._stats: Optional[tuple] = None
         self._denominator = 0.0
@@ -89,6 +101,23 @@ class IncrementalDetector:
     def __len__(self) -> int:
         return self._n
 
+    # The storage attributes are row views into the arena, re-fetched on
+    # each access so they survive arena reallocation on growth.  All
+    # arithmetic below runs on the same floats it did when these were
+    # private arrays — only the backing memory moved.
+
+    @property
+    def _values(self) -> np.ndarray:
+        return self.arena.values[self._row]
+
+    @property
+    def _norm(self) -> np.ndarray:
+        return self.arena.norm[self._row]
+
+    @property
+    def _scores(self) -> np.ndarray:
+        return self.arena.scores[self._row]
+
     @property
     def series(self) -> np.ndarray:
         """The raw samples received so far (view; do not mutate)."""
@@ -99,6 +128,28 @@ class IncrementalDetector:
         """Scores computed so far (zeros where not yet computable)."""
         return self._scores[:self._n]
 
+    def detach(self) -> None:
+        """Move this detector's row out of a shared arena.
+
+        Copies the live prefix into a private single-row arena and
+        releases the shared row for reuse.  Called when a session
+        closes, so the detector's ``series``/``scores`` stay readable
+        after the arena recycles the row for a new tracker.  A no-op
+        for detectors that already own a private arena.
+        """
+        if not self._shared:
+            return
+        shared, row, n = self.arena, self._row, self._n
+        private = DetectorArena(capacity=max(n, 1))
+        private_row = private.acquire()
+        private.values[private_row, :n] = shared.values[row, :n]
+        private.norm[private_row, :n] = shared.norm[row, :n]
+        private.scores[private_row, :n] = shared.scores[row, :n]
+        self.arena = private
+        self._row = private_row
+        self._shared = False
+        shared.release(row)
+
     # -- checkpointing ---------------------------------------------------------
 
     def state_dict(self) -> dict:
@@ -107,7 +158,10 @@ class IncrementalDetector:
         Every float survives the JSON round-trip exactly (``repr`` of a
         finite double is lossless), so a detector restored from this
         snapshot continues **bit-identically** to one that never
-        stopped — the property the kill-and-resume test pins.
+        stopped — the property the kill-and-resume test pins.  The
+        format carries no arena geometry: a snapshot written by a
+        private-array detector restores into an arena-backed one and
+        vice versa.
         """
         n = self._n
         return {
@@ -133,7 +187,7 @@ class IncrementalDetector:
     def load_state(self, state: dict) -> None:
         """Restore a :meth:`state_dict` snapshot (inverse operation)."""
         n = int(state["n"])
-        self._grow(max(n, 1))
+        self.arena.ensure_capacity(max(n, 1))
         self._n = n
         self._values[:n] = state["values"]
         self._norm[:n] = state["norm"]
@@ -151,23 +205,12 @@ class IncrementalDetector:
 
     # -- ingest ---------------------------------------------------------------
 
-    def _grow(self, needed: int) -> None:
-        if needed <= self._values.size:
-            return
-        capacity = max(2 * self._values.size, needed)
-        for name in ("_values", "_norm", "_scores"):
-            old = getattr(self, name)
-            grown = (np.zeros if name == "_scores" else np.empty)(
-                capacity, dtype=np.float64)
-            grown[:self._n] = old[:self._n]
-            setattr(self, name, grown)
-
     def extend(self, values: np.ndarray,
                flush: bool = False) -> Optional[DetectedChange]:
         """Append bins; returns the declaration the moment it fires."""
         values = np.asarray(values, dtype=np.float64).ravel()
         old_n = self._n
-        self._grow(old_n + values.size)
+        self.arena.ensure_capacity(old_n + values.size)
         self._values[old_n:old_n + values.size] = values
         self._n = old_n + values.size
 
@@ -216,12 +259,14 @@ class IncrementalDetector:
 
     # -- pooled scoring --------------------------------------------------------
 
-    def _pending_bounds(self) -> Optional[tuple]:
+    def pending_bounds(self) -> Optional[tuple]:
         """The ``(t_lo, t_hi)`` score range a pooled pass would fill.
 
         Exactly the gating of ``_score(flush=False)`` — same chunk
         threshold — so a pooled detector scores the same ranges on the
         same ticks a per-detector one would, just in a shared batch.
+        The pool turns these bounds into arena row slices directly,
+        skipping the per-detector segment copy.
         """
         if self._stats is None or self.declared is not None:
             return None
@@ -238,7 +283,7 @@ class IncrementalDetector:
         declared).  The segment is the same ``_norm[t_lo-span:t_hi+span]``
         view ``_score`` would hand to the scorer.
         """
-        bounds = self._pending_bounds()
+        bounds = self.pending_bounds()
         if bounds is None:
             return None
         t_lo, t_hi = bounds
@@ -250,7 +295,7 @@ class IncrementalDetector:
         Identical write-back to ``_score``; a no-op if nothing was
         pending (the pool never calls it that way).
         """
-        bounds = self._pending_bounds()
+        bounds = self.pending_bounds()
         if bounds is None:
             return
         t_lo, t_hi = bounds
@@ -274,22 +319,62 @@ class IncrementalDetector:
         limit = min(self._next_score_t, n - self.span + 1)
         if limit <= self._scan_t:
             return None
+        s = self._scores[:n]
         armed = np.flatnonzero(
-            self._scores[self._scan_t:limit] > policy.score_threshold)
-        for candidate in (armed + self._scan_t):
+            s[self._scan_t:limit] > policy.score_threshold)
+        if armed.size == 0:
+            return None
+        armed += self._scan_t
+        x = self._norm[:n]
+        # ``confirm_candidate`` early-returns unless the persistence
+        # window ends (candidate + persistence <= n) and the declaration
+        # index fits (candidate + max(persistence-1, lookahead) < n).
+        # Both are monotone in the candidate, so the decidable candidates
+        # are a prefix of ``armed`` — and for those the whole baseline /
+        # window statistics table can be computed in one vectorised pass,
+        # bitwise equal to the per-candidate medians (the ``_gating_table``
+        # contract, pinned in tests/core/test_scoring.py).
+        pad = max(policy.persistence,
+                  max(policy.persistence - 1, self.lookahead) + 1)
+        n_decidable = int(np.searchsorted(armed, n - pad, side="right"))
+        table = None
+        if n_decidable and np.isfinite(x).all():
+            meds, scales, window_meds = _gating_table(
+                x, armed[:n_decidable], policy)
+            bands = policy.deviation_sigmas * (MAD_TO_SIGMA * scales + 1e-9)
+            table = (meds, bands, window_meds)
+        for j, candidate in enumerate(armed):
             candidate = int(candidate)
             if candidate < self._scan_t:
                 continue  # skipped by an earlier confirmed window
-            horizon = candidate + max(
-                policy.persistence,
-                max(policy.persistence - 1, self.lookahead) + 1)
-            if horizon > n:
+            if j >= n_decidable:
                 # Not decidable yet — retry from here on the next push.
                 self._scan_t = candidate
                 return None
-            declared = confirm_candidate(
-                self._norm[:n], self._scores[:n], candidate, policy,
-                lookahead=self.lookahead)
+            if table is None:
+                # Non-finite samples: the NaN-padding trick inside the
+                # gating table needs finite data, so run the reference
+                # per-candidate rule (NaN statistics never confirm).
+                declared = confirm_candidate(
+                    x, s, candidate, policy, lookahead=self.lookahead)
+            else:
+                deviation = table[2][j] - table[0][j]
+                if abs(deviation) <= table[1][j]:
+                    declared = None
+                else:
+                    detected_at = candidate + max(policy.persistence - 1,
+                                                  self.lookahead)
+                    start = estimate_change_start(
+                        x, min(candidate + policy.persistence - 1,
+                               detected_at),
+                        baseline=candidate,
+                        threshold_sigmas=policy.deviation_sigmas)
+                    declared = DetectedChange(
+                        index=detected_at,
+                        start_index=start,
+                        score=float(s[candidate:detected_at + 1].max()),
+                        kind=classify_change(x, start, detected_at),
+                        direction=1 if deviation > 0 else -1)
             if declared is None:
                 self._scan_t = candidate + 1
                 continue

@@ -53,23 +53,23 @@ class DetectorPool:
         ``detectors`` — for every detector whose freshly scored range
         produced a declaration, in input order within each length group.
         """
-        pending: List[Tuple[int, np.ndarray]] = []
+        pending: List[Tuple[int, int, int]] = []
         for index, detector in enumerate(detectors):
-            segment = detector.pending_segment()
-            if segment is not None:
-                pending.append((index, segment))
+            bounds = detector.pending_bounds()
+            if bounds is not None:
+                pending.append((index, bounds[0], bounds[1]))
         if not pending:
             return []
         groups: dict = {}
-        for index, segment in pending:
+        for index, t_lo, t_hi in pending:
             # Stackable = same scorer parameters AND same segment width;
             # a service normally has one config, so one bucket per width.
-            key = (detectors[index].config.sst, segment.size)
-            groups.setdefault(key, []).append((index, segment))
+            detector = detectors[index]
+            key = (detector.config.sst, t_hi - t_lo + 2 * detector.span)
+            groups.setdefault(key, []).append((index, t_lo, t_hi))
         declared: List[Tuple[int, DetectedChange]] = []
         for members in groups.values():
-            stack = np.ascontiguousarray(
-                np.stack([segment for _, segment in members]))
+            stack = self._stack(detectors, members)
             scorer = detectors[members[0][0]].scorer
             rows = scorer.scores_batch(
                 stack, lengths=[stack.shape[1]] * len(members))
@@ -82,10 +82,38 @@ class DetectorPool:
                 POOLED_SERIES_METRIC,
                 help="Detector segments scored through the pool.",
             ).inc(len(members))
-            for (index, _segment), row in zip(members, rows):
+            for (index, _t_lo, _t_hi), row in zip(members, rows):
                 detector = detectors[index]
                 detector.apply_scores(row)
                 declaration = detector.scan()
                 if declaration is not None:
                     declared.append((index, declaration))
         return declared
+
+    @staticmethod
+    def _stack(detectors: Sequence[IncrementalDetector],
+               members: List[Tuple[int, int, int]]) -> np.ndarray:
+        """Materialise one group's ``(n, segment)`` score input.
+
+        Trackers admitted at the same tick share an arena and advance in
+        lock-step, so the common case is every member wanting the same
+        ``[lo:hi]`` column range of the same arena: one row-gather copies
+        the whole stack without a per-detector Python loop.  Mixed
+        groups (private arenas, staggered admission) fall back to the
+        original per-segment stack — the floats are identical either
+        way, the arena path just copies them once.
+        """
+        first = detectors[members[0][0]]
+        arena, span = first.arena, first.span
+        lo = members[0][1] - span
+        hi = members[0][2] + span
+        if all(d.arena is arena and t_lo - d.span == lo
+               and t_hi + d.span == hi
+               for i, t_lo, t_hi in members
+               for d in (detectors[i],)):
+            return arena.gather_norm(
+                [detectors[i]._row for i, _, _ in members], lo, hi)
+        return np.ascontiguousarray(np.stack(
+            [detectors[i]._norm[t_lo - detectors[i].span:
+                                t_hi + detectors[i].span]
+             for i, t_lo, t_hi in members]))

@@ -8,6 +8,12 @@ scheduler *drains* them under its per-tick budget.  When a queue is
 full the configured policy sheds a fragment — stale first by default —
 and a counter records every shed, so overload degrades the answers
 (gaps, late emissions) instead of growing memory without bound.
+
+Draining is round-robin over the sorted key order.  The sort (and the
+string projection the rotation cursor bisects) is cached and only
+recomputed when the key set changes — at fleet scale the same few
+hundred keys are drained every tick, and re-sorting plus re-stringifying
+them each drain was a measurable slice of the tick.
 """
 
 from __future__ import annotations
@@ -41,6 +47,11 @@ class IngestQueues:
         #: keeps the rotation correct when the key set changes between
         #: drains, which would silently re-aim a stored index.
         self._last_served: Optional[KpiKey] = None
+        #: Cached ``(sorted keys, their str projections)``; rebuilt when
+        #: the key count changes (keys are only ever added one at a time
+        #: or cleared wholesale, so a size check detects every change).
+        self._sorted_keys: List[KpiKey] = []
+        self._sorted_strs: List[str] = []
         self.depth = 0
         self.peak_depth = 0
         self.shed = 0
@@ -58,6 +69,23 @@ class IngestQueues:
         self.metrics.counter(
             FRAGMENTS_METRIC, help="Fragments offered to ingest queues."
         ).inc()
+        return self._offer(key, fragment)
+
+    def offer_batch(self, items: List[Tuple[KpiKey, TimeSeries]]) -> int:
+        """Enqueue one push batch; returns how many were accepted.
+
+        One counter bump for the whole batch, one ``_offer`` per item —
+        the fused ingest plane's producer side (semantically a loop of
+        :meth:`offer`).
+        """
+        if items:
+            self.metrics.counter(
+                FRAGMENTS_METRIC, help="Fragments offered to ingest queues."
+            ).inc(len(items))
+        return sum(1 for key, fragment in items
+                   if self._offer(key, fragment))
+
+    def _offer(self, key: KpiKey, fragment: TimeSeries) -> bool:
         queue = self._queues.get(key)
         if queue is None:
             queue = deque()
@@ -84,6 +112,22 @@ class IngestQueues:
 
     # -- consumer side --------------------------------------------------------
 
+    def _rotation(self) -> List[KpiKey]:
+        """The sorted key order, rotated to resume after the last-served
+        key (bisect also lands correctly when that key has since
+        disappeared or new keys shifted the order)."""
+        if len(self._sorted_keys) != len(self._queues):
+            self._sorted_keys = sorted(self._queues, key=str)
+            self._sorted_strs = [str(k) for k in self._sorted_keys]
+        keys = self._sorted_keys
+        if not keys:
+            return keys
+        start = 0
+        if self._last_served is not None:
+            start = bisect_right(self._sorted_strs,
+                                 str(self._last_served)) % len(keys)
+        return keys[start:] + keys[:start]
+
     def drain(self, budget: int = 0
               ) -> Iterator[Tuple[KpiKey, TimeSeries]]:
         """Pop fragments round-robin across keys, oldest first.
@@ -96,17 +140,9 @@ class IngestQueues:
         key order forever.  Order is deterministic for a given history.
         """
         remaining = budget if budget > 0 else self.depth
-        keys: List[KpiKey] = sorted(self._queues, key=str)
-        if not keys:
+        order = self._rotation()
+        if not order:
             return
-        start = 0
-        if self._last_served is not None:
-            # Resume after the last-served *key* in the current sorted
-            # order (bisect also lands correctly when that key has since
-            # disappeared or new keys shifted the order).
-            start = bisect_right([str(k) for k in keys],
-                                 str(self._last_served)) % len(keys)
-        order = keys[start:] + keys[:start]
         while remaining > 0 and self.depth > 0:
             progressed = False
             for key in order:
@@ -122,6 +158,17 @@ class IngestQueues:
                     break
             if not progressed:
                 break
+
+    def drain_batch(self, budget: int = 0
+                    ) -> List[Tuple[KpiKey, TimeSeries]]:
+        """:meth:`drain` materialised — same fragments, same order.
+
+        The fused ingest path wants the whole tick's batch at once (to
+        heal, stage and scatter it in bulk) rather than a generator it
+        would immediately exhaust; the rotation cursor advances exactly
+        as the generator's would.
+        """
+        return list(self.drain(budget=budget))
 
     def discard(self) -> int:
         """Drop everything still queued (change close); returns count."""

@@ -43,6 +43,7 @@ from ..telemetry.timeseries import MINUTE, TimeSeries
 from .bus import LiveVerdict
 from .checkpoint import Checkpointer, load_checkpoint, restore_service
 from .config import LiveConfig
+from .scheduler import TICK_STAGE_SECONDS_METRIC
 from .service import LiveAssessmentService
 
 __all__ = ["LiveReplayReport", "parity_live_config", "replay_scenario",
@@ -295,10 +296,10 @@ def replay_scenario(spec: Optional[FleetScenarioSpec] = None,
     def stream_chunk(offset: int, chunk: int) -> None:
         absolute_bin = spec.lead_bins + offset
         start_time = absolute_bin * MINUTE
-        for key in keys:
-            store.append(key, TimeSeries(
-                start_time, MINUTE,
-                arrays[key][absolute_bin:absolute_bin + chunk]))
+        store.append_batch([
+            (key, TimeSeries(start_time, MINUTE,
+                             arrays[key][absolute_bin:absolute_bin + chunk]))
+            for key in keys])
 
     # Fast-forward to the checkpoint: replay the pre-checkpoint stream
     # into the fresh (fault-wrapped) store before any subscriber exists.
@@ -332,10 +333,13 @@ def replay_scenario(spec: Optional[FleetScenarioSpec] = None,
     root = obs.tracer.span(REPLAY_SPAN) if observed else nullcontext()
 
     started = time.perf_counter()
+    stream_seconds = 0.0
     with root:
         while offset < stream_bins:
             chunk = min(flush_bins, stream_bins - offset)
+            chunk_started = time.perf_counter()
             stream_chunk(offset, chunk)
+            stream_seconds += time.perf_counter() - chunk_started
             report.fragments_streamed += len(keys)
             now = clock.advance_minutes(chunk)
             if faulty:
@@ -357,6 +361,12 @@ def replay_scenario(spec: Optional[FleetScenarioSpec] = None,
                 store.flush_all()
             service.shutdown(clock.now)
     report.wall_seconds = time.perf_counter() - started
+    # The append side of the ingest plane, alongside the scheduler's
+    # per-tick poll/drain/pool/close stages in the same counter.
+    service.metrics.counter(
+        TICK_STAGE_SECONDS_METRIC,
+        help="Wall seconds spent per tick stage.",
+    ).inc(stream_seconds, stage="stream")
     if checkpointer is not None:
         report.checkpoints_written = checkpointer.written
 

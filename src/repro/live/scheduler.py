@@ -32,7 +32,12 @@ from .assessor import ChangeSession, LiveAssessor
 from .config import LiveConfig
 from .watcher import ChangeWatcher
 
-__all__ = ["EventTimeScheduler"]
+__all__ = ["EventTimeScheduler", "TICK_STAGE_SECONDS_METRIC"]
+
+#: Wall seconds per tick stage (labels: stage=poll|drain|pool|close; the
+#: replay driver adds stage=stream for its append side).  ``repro obs
+#: report`` renders these as the ingest-plane timing breakdown.
+TICK_STAGE_SECONDS_METRIC = "repro_live_tick_stage_seconds_total"
 
 QUEUE_DEPTH_GAUGE = "repro_live_queue_depth"
 PEAK_QUEUE_DEPTH_GAUGE = "repro_live_peak_queue_depth"
@@ -64,13 +69,26 @@ class EventTimeScheduler:
 
     def tick(self, now: int) -> List[ChangeSession]:
         """Run one control-loop pass; returns the sessions closed."""
-        started = time.perf_counter() if self.health is not None else 0.0
+        clock = time.perf_counter
+        started = clock() if self.health is not None else 0.0
+        t_0 = clock()
         self.watcher.poll(now)
+        t_poll = clock()
         self._note_depth()  # ingest since the last tick
         self._drain(now)
+        t_drain = clock()
         if self.config.pooled_scoring:
             self.assessor.pool_score(self._sessions_by_age(), now)
+        t_pool = clock()
         closed = self._close_due(now)
+        t_close = clock()
+        stage_seconds = self.metrics.counter(
+            TICK_STAGE_SECONDS_METRIC,
+            help="Wall seconds spent per tick stage.")
+        stage_seconds.inc(t_poll - t_0, stage="poll")
+        stage_seconds.inc(t_drain - t_poll, stage="drain")
+        stage_seconds.inc(t_pool - t_drain, stage="pool")
+        stage_seconds.inc(t_close - t_pool, stage="close")
         self._update_gauges(now)
         self.tick_count += 1
         if self.checkpointer is not None:
@@ -89,13 +107,21 @@ class EventTimeScheduler:
     def _drain(self, now: int) -> None:
         budget = self.config.max_fragments_per_tick
         remaining = budget if budget > 0 else 0
+        fused = self.config.fused_ingest
         for session in self._sessions_by_age():
             if budget > 0 and remaining <= 0:
                 break
-            drained = 0
-            for key, fragment in session.queues.drain(budget=remaining):
-                self.assessor.on_fragment(session, key, fragment, now)
-                drained += 1
+            if fused:
+                # Same fragments in the same order — materialised so the
+                # assessor can heal, stage and scatter the whole batch.
+                batch = session.queues.drain_batch(budget=remaining)
+                self.assessor.on_fragment_batch(session, batch, now)
+                drained = len(batch)
+            else:
+                drained = 0
+                for key, fragment in session.queues.drain(budget=remaining):
+                    self.assessor.on_fragment(session, key, fragment, now)
+                    drained += 1
             if budget > 0:
                 remaining -= drained
 

@@ -33,6 +33,7 @@ from .timeseries import MINUTE, TimeSeries
 __all__ = ["MetricStore", "Subscription"]
 
 Callback = Callable[[KpiKey, TimeSeries], None]
+BatchCallback = Callable[[List], None]
 
 #: Initial column capacity, in bins.
 _MIN_CAPACITY = 64
@@ -45,11 +46,17 @@ class Subscription:
     Identity semantics (``eq=False``): two subscriptions with the same
     keys and callback are still distinct registrations, so cancelling
     one can never prune the other from the store's push list.
+
+    ``batch_callback``, when set, receives one call with the matched
+    ``[(key, fragment), ...]`` sublist of a batched append instead of
+    one ``callback`` call per fragment — the fused ingest plane's
+    fan-out.  Per-fragment appends always use ``callback``.
     """
 
     keys: frozenset
     callback: Callback
     active: bool = True
+    batch_callback: Optional[BatchCallback] = None
     _store: Optional["MetricStore"] = field(default=None, repr=False,
                                             compare=False)
 
@@ -116,6 +123,40 @@ class MetricStore:
         stored series exactly (same start for a new key, ``end`` of the
         stored data otherwise) — agents emit contiguous measurements.
         """
+        self._ingest(key, fragment)
+        self._push(key, fragment)
+
+    def append_batch(self, items: List) -> None:
+        """Append one tick's ``[(key, fragment), ...]`` in a single call.
+
+        Storage-wise this is :meth:`append` per item — same validation,
+        same counters.  The push fan-out differs: each subscription is
+        visited **once** with its matched sublist, so a subscriber
+        watching hundreds of keys pays one Python call per tick instead
+        of one per fragment; subscriptions with a ``batch_callback``
+        receive the sublist whole.  Delivery order within a
+        subscription is the item order, so per-key fragment order — the
+        only order the live queues preserve anyway — is unchanged.
+        """
+        for key, fragment in items:
+            self._ingest(key, fragment)
+        if not items:
+            return
+        for sub in tuple(self._subscriptions):
+            if not sub.active:
+                continue
+            matched = [(key, fragment) for key, fragment in items
+                       if key in sub.keys]
+            if not matched:
+                continue
+            if sub.batch_callback is not None:
+                sub.batch_callback(matched)
+            else:
+                for key, fragment in matched:
+                    sub.callback(key, fragment)
+
+    def _ingest(self, key: KpiKey, fragment: TimeSeries) -> None:
+        """Validate and store one fragment (no subscription fan-out)."""
         if fragment.bin_seconds != self.bin_seconds:
             raise TelemetryError(
                 "fragment bin width %d != store bin width %d"
@@ -135,7 +176,6 @@ class MetricStore:
         self.appended_fragments += 1
         self.appended_bins += len(fragment)
         self._views.pop(key, None)
-        self._push(key, fragment)
 
     def _push(self, key: KpiKey, fragment: TimeSeries) -> None:
         # Snapshot: a callback may subscribe or cancel (mutating the
@@ -202,11 +242,17 @@ class MetricStore:
 
     # -- subscriptions -----------------------------------------------------------
 
-    def subscribe(self, keys: Iterable[KpiKey],
-                  callback: Callback) -> Subscription:
-        """Register ``callback`` for every future append to ``keys``."""
+    def subscribe(self, keys: Iterable[KpiKey], callback: Callback,
+                  batch_callback: Optional[BatchCallback] = None
+                  ) -> Subscription:
+        """Register ``callback`` for every future append to ``keys``.
+
+        ``batch_callback`` opts the subscription into whole-sublist
+        delivery on :meth:`append_batch` (per-fragment appends still go
+        through ``callback``).
+        """
         sub = Subscription(keys=frozenset(keys), callback=callback,
-                           _store=self)
+                           batch_callback=batch_callback, _store=self)
         if not sub.keys:
             raise TelemetryError("subscription must name at least one KPI")
         self._subscriptions.append(sub)

@@ -1,11 +1,49 @@
 """Tests for the online (streaming) detector and assessor."""
 
+import numpy as np
 import pytest
 
 from repro.core.funnel import Funnel
+from repro.core.scoring import declare_changes, robust_normalise
 from repro.core.streaming import StreamingAssessor, StreamingDetector
 from repro.exceptions import ParameterError
-from repro.types import Verdict
+from repro.types import DetectedChange, Verdict
+
+
+class _ReferenceDetector(StreamingDetector):
+    """The pre-cache evaluation loop: full rescore on every push."""
+
+    def _evaluate(self):
+        n = len(self._values)
+        if n < self.config.sst.window_length:
+            return None
+        local_change = self.change_index - self._offset
+        baseline = max(1, min(local_change, n)) if local_change > 0 else 1
+        x = np.asarray(self._values)
+        normalised = robust_normalise(x, baseline=baseline)
+        scores = self.scorer.scores(normalised)
+        declared = declare_changes(
+            normalised, scores, self.config.policy,
+            lookahead=self.config.sst.lookahead - 1,
+        )
+        last_seen = (self._declared[-1].index if self._declared
+                     else self.change_index - 1)
+        for change in declared:
+            absolute = DetectedChange(
+                index=change.index + self._offset,
+                start_index=change.start_index + self._offset,
+                score=change.score,
+                kind=change.kind,
+                direction=change.direction,
+            )
+            if absolute.start_index < self.change_index - 1:
+                continue
+            if absolute.index <= last_seen:
+                continue
+            if absolute.index == self.position - 1:
+                self._declared.append(absolute)
+                return absolute
+        return None
 
 
 class TestStreamingDetector:
@@ -72,6 +110,50 @@ class TestStreamingDetector:
         detector = StreamingDetector(change_index=0)
         with pytest.raises(ParameterError):
             detector.push(float("nan"))
+
+    @pytest.mark.parametrize("change_index,step_index,size,max_history", [
+        (100, 100, 300, 4096),  # plain step after warmup
+        (0, 60, 220, 4096),     # change at stream start (baseline = 1)
+        (580, 580, 700, 128),   # ring trims; baseline shifts every push
+    ])
+    def test_suffix_rescore_matches_full_rescore(self, rng, change_index,
+                                                 step_index, size,
+                                                 max_history):
+        """Cached suffix scoring pushes the very bytes a full pass does.
+
+        Every push is compared against the reference detector (which
+        renormalises and rescores the whole buffer each time), and the
+        cached arrays are checked bitwise against a one-shot transform
+        of the final buffer.
+        """
+        x = 50.0 + rng.normal(0, 0.5, size=size)
+        x[step_index:] += 4.0
+        fast = StreamingDetector(change_index=change_index,
+                                 max_history=max_history)
+        slow = _ReferenceDetector(change_index=change_index,
+                                  max_history=max_history)
+        for value in x:
+            assert fast.push(value) == slow.push(value)
+        assert fast.declared == slow.declared
+        assert fast.declared
+
+        n = len(fast._values)
+        local_change = change_index - fast._offset
+        baseline = max(1, min(local_change, n)) if local_change > 0 else 1
+        buffer = np.asarray(fast._values)
+        normalised = robust_normalise(buffer, baseline=baseline)
+        assert fast._norm_buf[:n].tobytes() == normalised.tobytes()
+        assert (fast._score_buf[:n].tobytes()
+                == fast.scorer.scores(normalised).tobytes())
+
+    def test_quiet_stream_parity_with_full_rescore(self, rng):
+        """No-declaration streams take the gated fast path throughout."""
+        x = 50.0 + rng.normal(0, 0.5, size=280)
+        fast = StreamingDetector(change_index=100)
+        slow = _ReferenceDetector(change_index=100)
+        for value in x:
+            assert fast.push(value) == slow.push(value)
+        assert fast.declared == slow.declared == []
 
 
 class TestStreamingAssessor:

@@ -235,3 +235,77 @@ class TestPooledScoringResume:
         b = restored.extend(x[150:])
         assert a == b
         np.testing.assert_array_equal(original.scores, restored.scores)
+
+
+class TestFusedIngestResume:
+    """Checkpoints carry no arena geometry and no ingest-plane mode, so
+    a run checkpointed under either ingest plane must resume under
+    either — bit-identically, both directions."""
+
+    def _config(self, fused):
+        return parity_live_config(SPEC, pooled_scoring=True,
+                                  fused_ingest=fused)
+
+    def test_fused_kill_and_resume_is_bit_identical(self, tmp_path):
+        config = self._config(fused=True)
+        baseline = replay_scenario(SPEC, live_config=config)
+        path = str(tmp_path / "fused.ckpt")
+        killed = replay_scenario(SPEC, live_config=config,
+                                 checkpoint_path=path, checkpoint_every=10,
+                                 kill_after_ticks=KILL_AT)
+        assert killed.killed is True
+        reset_shared_cache()
+        resumed = replay_scenario(SPEC, live_config=config,
+                                  resume_from=path, check_offline=True)
+        assert resumed.resumed is True
+        assert verdict_bytes(resumed) == verdict_bytes(baseline)
+        assert resumed.parity_ok is True
+
+    @pytest.mark.parametrize("kill_fused,resume_fused", [
+        (False, True),   # pre-arena-plane checkpoint, fused restore
+        (True, False),   # fused checkpoint, per-fragment restore
+    ])
+    def test_resume_crosses_ingest_planes(self, tmp_path, kill_fused,
+                                          resume_fused):
+        baseline = replay_scenario(SPEC,
+                                   live_config=self._config(fused=False))
+        path = str(tmp_path / "cross.ckpt")
+        killed = replay_scenario(SPEC,
+                                 live_config=self._config(kill_fused),
+                                 checkpoint_path=path, checkpoint_every=10,
+                                 kill_after_ticks=KILL_AT)
+        assert killed.killed is True
+        reset_shared_cache()
+        resumed = replay_scenario(SPEC,
+                                  live_config=self._config(resume_fused),
+                                  resume_from=path, check_offline=True)
+        assert resumed.resumed is True
+        assert verdict_bytes(resumed) == verdict_bytes(baseline)
+        assert resumed.parity_ok is True
+
+    def test_pre_arena_detector_state_restores_into_shared_arena(self):
+        """A snapshot from a private (pre-arena layout) detector loads
+        into a shared-arena detector and continues bit-identically —
+        and the other way around."""
+        import numpy as np
+        from repro.live import IncrementalDetector
+        from repro.live.arena import DetectorArena
+        rng = np.random.default_rng(13)
+        x = 10.0 + rng.normal(0, 0.5, size=200)
+        x[120:] += 5.0
+        private = IncrementalDetector(120)
+        private.extend(x[:150])
+
+        arena = DetectorArena()
+        shared = IncrementalDetector(120, arena=arena)
+        shared.load_state(private.state_dict())
+        assert shared.state_dict() == private.state_dict()
+
+        back = IncrementalDetector(120)
+        back.load_state(shared.state_dict())
+        a = private.extend(x[150:])
+        b = shared.extend(x[150:])
+        c = back.extend(x[150:])
+        assert a == b == c
+        np.testing.assert_array_equal(private.scores, shared.scores)
+        np.testing.assert_array_equal(private.scores, back.scores)
